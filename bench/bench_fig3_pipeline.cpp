@@ -1,0 +1,57 @@
+// Figure 3: the double-buffered pipeline — "a processor receives data in
+// B2 while computing the data in B1... Overlapping communication with
+// computation is achieved in all steps, except first."
+//
+// The paper draws this as an illustration; here it is regenerated from a
+// live run: an ASCII Gantt of rank 0's virtual time on the Linux cluster
+// model, nonblocking vs blocking.  In the nonblocking chart the gets (G)
+// run concurrently with compute (C) and no waits appear after the first
+// task; in the blocking chart every task serializes get -> wait -> compute.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "vtime/timeline.hpp"
+
+namespace srumma::bench {
+namespace {
+
+void run_arm(const std::string& label, bool nonblocking) {
+  Team team(MachineModel::linux_myrinet(4));  // 8 ranks
+  team.enable_timeline();
+  RmaRuntime rma(team);
+  const ProcGrid g = ProcGrid::near_square(team.size());
+  MultiplyResult out;
+  team.run([&](Rank& me) {
+    DistMatrix a(rma, me, 1536, 1536, g, true);
+    DistMatrix b(rma, me, 1536, 1536, g, true);
+    DistMatrix c(rma, me, 1536, 1536, g, true);
+    SrummaOptions opt;
+    opt.nonblocking = nonblocking;
+    MultiplyResult r = srumma_multiply(me, a, b, c, opt);
+    if (me.id() == 0) out = r;
+  });
+  std::cout << label << " — " << TableWriter::num(out.gflops, 1)
+            << " GFLOP/s, overlap "
+            << TableWriter::num(out.overlap * 100.0, 1) << "%\n";
+  team.timeline()->print_gantt(std::cout, 0.0, 0.0, 100, 4);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace srumma::bench
+
+int main() {
+  using namespace srumma;
+  using namespace srumma::bench;
+  std::cout << "Figure 3: the double-buffered nonblocking pipeline, "
+               "regenerated as a virtual-time Gantt\n(Linux cluster model, "
+               "8 ranks, N=1536; first 4 ranks shown)\n\n";
+  run_arm("Nonblocking (paper's Fig. 3: overlap in all steps except first)",
+          true);
+  run_arm("Blocking (no pipeline: every get exposed as a wait)", false);
+  std::cout << "Expected shape: nonblocking shows G spans riding alongside "
+               "C with no W cells after the first task; blocking shows "
+               "G/W cells serializing with C.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 8: point-to-point performance of MPI send/receive vs ARMCI get on
+// the IBM SP (top) and the Linux cluster with Myrinet (bottom), across
+// message sizes.
+//
+// Shapes to reproduce: on the SP, LAPI's interrupt-driven get has *higher*
+// latency than polling MPI, and neither protocol is zero-copy, so both
+// saturate at similar sub-wire bandwidth.  On Myrinet, the zero-copy GM get
+// clearly beats MPI for medium and large messages.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+
+namespace srumma::bench {
+namespace {
+
+void run_machine(const std::string& name, MachineModel machine) {
+  Testbed tb(std::move(machine));
+  const int peer = tb.team.machine().ranks_per_node;  // first off-node rank
+  TableWriter table({"message bytes", "ARMCI get MB/s", "MPI MB/s",
+                     "get latency us", "MPI latency us"});
+  for (std::size_t bytes = 8; bytes <= (4u << 20); bytes *= 4) {
+    const std::size_t elems = bytes / sizeof(double);
+    double t_get = 0.0, t_mpi = 0.0;
+    tb.team.reset();
+    tb.team.run([&](Rank& me) {
+      me.barrier();
+      if (me.id() == 0) {
+        const double t0 = me.clock().now();
+        RmaHandle h = tb.rma.nbget(me, peer, nullptr, nullptr, elems);
+        tb.rma.wait(me, h);
+        t_get = me.clock().now() - t0;
+      }
+      me.barrier();
+      // Half of a same-size ping-pong: the wire is paid exactly once per
+      // direction, so RTT/2 is the delivered one-way time.
+      if (me.id() == 0) {
+        const double t0 = me.clock().now();
+        tb.comm.send(me, peer, 1, nullptr, elems);
+        tb.comm.recv(me, peer, 2, nullptr, elems);
+        t_mpi = (me.clock().now() - t0) / 2.0;
+      } else if (me.id() == peer) {
+        tb.comm.recv(me, 0, 1, nullptr, elems);
+        tb.comm.send(me, 0, 2, nullptr, elems);
+      }
+      me.barrier();
+    });
+    table.add_row({TableWriter::num(static_cast<long long>(bytes)),
+                   TableWriter::num(bytes / t_get / 1e6, 1),
+                   TableWriter::num(bytes / t_mpi / 1e6, 1),
+                   TableWriter::num(t_get * 1e6, 1),
+                   TableWriter::num(t_mpi * 1e6, 1)});
+  }
+  table.print(std::cout, name);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace srumma::bench
+
+int main() {
+  using namespace srumma;
+  using namespace srumma::bench;
+  std::cout << "Figure 8: MPI vs ARMCI_Get across message sizes\n\n";
+  run_machine("IBM SP (LAPI: interrupt-driven, not zero-copy)",
+              MachineModel::ibm_sp(2));
+  run_machine("Linux cluster (Myrinet GM: zero-copy)",
+              MachineModel::linux_myrinet(2));
+  return 0;
+}

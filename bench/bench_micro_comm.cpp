@@ -1,0 +1,108 @@
+// Micro-benchmark (google-benchmark): real host-time overheads of the
+// simulation substrate itself — how fast the harness can issue RMA ops,
+// match messages, book contended resources and run barriers.  These bound
+// how large a simulated machine the benches can afford.
+//
+// Where an op needs two ranks, each benchmark iteration runs a fixed-count
+// batch inside one Team::run (thread spawn included — it is part of the
+// harness cost being measured); per-op cost = iteration time / batch size.
+
+#include <benchmark/benchmark.h>
+
+#include "msg/comm.hpp"
+#include "rma/rma.hpp"
+#include "runtime/team.hpp"
+#include "vtime/resource.hpp"
+
+namespace {
+
+using namespace srumma;
+
+constexpr int kBatch = 1024;
+
+void BM_ResourceBook(benchmark::State& state) {
+  Resource r;
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.book(t, 1e-6));
+    t += 5e-7;
+  }
+}
+BENCHMARK(BM_ResourceBook);
+
+void BM_RmaGetBatch(benchmark::State& state) {
+  Team team(MachineModel::testing(2, 1));
+  RmaRuntime rma(team);
+  for (auto _ : state) {
+    team.reset();
+    team.run([&](Rank& me) {
+      if (me.id() != 0) return;
+      for (int i = 0; i < kBatch; ++i) {
+        RmaHandle h = rma.nbget(me, 1, nullptr, nullptr, 1024);
+        rma.wait(me, h);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_RmaGetBatch);
+
+void BM_MsgSendRecvBatch(benchmark::State& state) {
+  Team team(MachineModel::testing(2, 1));
+  Comm comm(team);
+  for (auto _ : state) {
+    team.reset();
+    team.run([&](Rank& me) {
+      if (me.id() == 0) {
+        for (int i = 0; i < kBatch; ++i) comm.send(me, 1, 1, nullptr, 16);
+      } else {
+        for (int i = 0; i < kBatch; ++i) comm.recv(me, 0, 1, nullptr, 16);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_MsgSendRecvBatch);
+
+void BM_RendezvousExchangeBatch(benchmark::State& state) {
+  Team team(MachineModel::testing(2, 1));
+  Comm comm(team);
+  constexpr int kRvBatch = 64;
+  constexpr std::size_t kElems = 8192;  // 64 KB: rendezvous path
+  for (auto _ : state) {
+    team.reset();
+    team.run([&](Rank& me) {
+      const int peer = 1 - me.id();
+      for (int i = 0; i < kRvBatch; ++i) {
+        comm.sendrecv(me, peer, 1, nullptr, kElems, peer, 1, nullptr, kElems);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kRvBatch);
+}
+BENCHMARK(BM_RendezvousExchangeBatch);
+
+void BM_BarrierBatch(benchmark::State& state) {
+  Team team(MachineModel::testing(4, 1));
+  for (auto _ : state) {
+    team.reset();
+    team.run([&](Rank& me) {
+      for (int i = 0; i < kBatch; ++i) me.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_BarrierBatch);
+
+void BM_TeamSpawn128(benchmark::State& state) {
+  Team team(MachineModel::linux_myrinet(64));  // 128 rank threads
+  for (auto _ : state) {
+    team.reset();
+    team.run([](Rank& me) { me.barrier(); });
+  }
+}
+BENCHMARK(BM_TeamSpawn128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

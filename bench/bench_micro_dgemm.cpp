@@ -1,0 +1,91 @@
+// Micro-benchmark (google-benchmark): the real serial dgemm kernels that
+// back the numerics — blocked vs naive, plus transposed variants.  These
+// run actual floating-point work on this host (they are the one bench not
+// in virtual time).
+
+#include <benchmark/benchmark.h>
+
+#include "blas/gemm.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using srumma::index_t;
+using srumma::Matrix;
+using srumma::blas::Trans;
+
+void setup(index_t n, Matrix& a, Matrix& b, Matrix& c) {
+  a = Matrix(n, n);
+  b = Matrix(n, n);
+  c = Matrix(n, n);
+  srumma::fill_random(a.view(), 1);
+  srumma::fill_random(b.view(), 2);
+}
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Matrix a, b, c;
+  setup(n, a, b, c);
+  for (auto _ : state) {
+    srumma::blas::gemm_blocked(Trans::No, Trans::No, n, n, n, 1.0, a.data(),
+                               n, b.data(), n, 0.0, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmNaive(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Matrix a, b, c;
+  setup(n, a, b, c);
+  for (auto _ : state) {
+    srumma::blas::gemm_naive(Trans::No, Trans::No, n, n, n, 1.0, a.data(), n,
+                             b.data(), n, 0.0, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmBlockedTransposed(benchmark::State& state) {
+  const index_t n = state.range(0);
+  Matrix a, b, c;
+  setup(n, a, b, c);
+  for (auto _ : state) {
+    srumma::blas::gemm_blocked(Trans::Yes, Trans::Yes, n, n, n, 1.0, a.data(),
+                               n, b.data(), n, 0.0, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmBlockedTransposed)->Arg(128)->Arg(256);
+
+// Panel shapes SRUMMA actually feeds the kernel (tall C tile x k-chunk).
+void BM_GemmPanel(benchmark::State& state) {
+  const index_t m = state.range(0);
+  const index_t k = state.range(1);
+  Matrix a(m, k), b(k, m), c(m, m);
+  srumma::fill_random(a.view(), 3);
+  srumma::fill_random(b.view(), 4);
+  for (auto _ : state) {
+    srumma::blas::gemm_blocked(Trans::No, Trans::No, m, m, k, 1.0, a.data(),
+                               m, b.data(), k, 1.0, c.data(), m);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(m) * m * k * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmPanel)->Args({256, 64})->Args({256, 128})->Args({512, 128});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Section 2.1 model validation: the measured (virtual-time) SRUMMA
+// makespan against the analytic model — eq. (1) with fully exposed
+// communication and eq. (3) with the achieved overlap — plus the
+// isoefficiency table showing the O(P^1.5) scaling SRUMMA shares with
+// Cannon's algorithm.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace srumma;
+  using namespace srumma::bench;
+
+  std::cout << "Section 2.1: analytic model vs measured virtual time "
+               "(Linux cluster)\n\n";
+  TableWriter table({"N", "P", "measured ms", "eq(3) ms", "ratio", "eq(1) ms",
+                     "overlap %", "efficiency"});
+  for (int nodes : {8, 32}) {
+    Testbed tb(MachineModel::linux_myrinet(nodes));
+    const int p = tb.team.size();
+    for (index_t n : {1000, 2000, 4000, 8000}) {
+      const MultiplyResult r = run_srumma(tb, n, n, n);
+      // The model's t_ma should reflect the rate of the blocks dgemm
+      // actually runs on (local C rows x k-chunk panels).
+      const auto params = perf::params_from_machine(
+          tb.team.machine(), std::max<index_t>(n / 8, 64));
+      const double eq3 = perf::t_par_rma_overlap(
+          static_cast<double>(n), p, params, 1.0 - r.overlap);
+      const double eq1 =
+          perf::t_par_rma(static_cast<double>(n), p, params);
+      const double t_serial = perf::t_seq(static_cast<double>(n), params);
+      table.add_row({TableWriter::num(static_cast<long long>(n)),
+                     TableWriter::num(static_cast<long long>(p)),
+                     ms(r.elapsed), ms(eq3),
+                     TableWriter::num(r.elapsed / eq3, 2), ms(eq1),
+                     TableWriter::num(r.overlap * 100.0, 1),
+                     TableWriter::num(t_serial / (r.elapsed * p), 2)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nIsoefficiency (eta = 0.8): N required grows like sqrt(P), "
+               "so work N^3 grows like P^1.5 — same as Cannon's algorithm\n\n";
+  TableWriter iso({"P", "N(eta=0.8)", "work ratio vs previous"});
+  const auto params =
+      perf::params_from_machine(MachineModel::linux_myrinet(1), 512);
+  double prev_work = 0.0;
+  for (double p : {4.0, 16.0, 64.0, 256.0}) {
+    const double n = perf::isoefficiency_n(p, 0.8, params);
+    const double work = n * n * n;
+    iso.add_row({TableWriter::num(static_cast<long long>(p)),
+                 TableWriter::num(n, 0),
+                 prev_work > 0 ? TableWriter::num(work / prev_work, 1) : "-"});
+    prev_work = work;
+  }
+  iso.print(std::cout);
+  std::cout << "\n(each 4x in P should multiply the required work by "
+               "4^1.5 = 8)\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+#pragma once
+// Shared runners for the paper-reproduction benches.
+//
+// Every bench builds phantom (model-only) distributed matrices, runs the
+// algorithms through the identical code paths the correctness tests
+// exercise with real data, and prints the rows the corresponding paper
+// table or figure reports.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "baselines/cannon.hpp"
+#include "baselines/summa.hpp"
+#include "core/srumma.hpp"
+#include "dist/dist_matrix.hpp"
+#include "msg/comm.hpp"
+#include "perf/model.hpp"
+#include "rma/rma.hpp"
+#include "util/table.hpp"
+
+namespace srumma::bench {
+
+/// One machine + comm stack, reusable across experiment runs.
+struct Testbed {
+  Team team;
+  RmaRuntime rma;
+  Comm comm;
+
+  explicit Testbed(MachineModel machine, RmaConfig rma_cfg = {})
+      : team(std::move(machine)), rma(team, rma_cfg), comm(team) {}
+
+  [[nodiscard]] ProcGrid grid() const {
+    // const_cast-free: ProcGrid::near_square needs only the size.
+    return ProcGrid::near_square(team.machine().total_ranks());
+  }
+};
+
+/// Phantom SRUMMA run: C(m x n) = op(A) op(B) with inner dimension k.
+inline MultiplyResult run_srumma(Testbed& tb, index_t m, index_t n, index_t k,
+                                 SrummaOptions opt = {}) {
+  const ProcGrid g = tb.grid();
+  const bool tra = opt.ta == blas::Trans::Yes;
+  const bool trb = opt.tb == blas::Trans::Yes;
+  MultiplyResult out;
+  tb.team.reset();
+  tb.team.run([&](Rank& me) {
+    DistMatrix a(tb.rma, me, tra ? k : m, tra ? m : k, g, true);
+    DistMatrix b(tb.rma, me, trb ? n : k, trb ? k : n, g, true);
+    DistMatrix c(tb.rma, me, m, n, g, true);
+    MultiplyResult r = srumma_multiply(me, a, b, c, opt);
+    if (me.id() == 0) out = r;
+  });
+  return out;
+}
+
+/// Phantom pdgemm (SUMMA + transpose redistribution) run.
+inline MultiplyResult run_pdgemm(Testbed& tb, index_t m, index_t n, index_t k,
+                                 PdgemmOptions opt = {}) {
+  const ProcGrid g = tb.grid();
+  const bool tra = opt.ta == blas::Trans::Yes;
+  const bool trb = opt.tb == blas::Trans::Yes;
+  MultiplyResult out;
+  tb.team.reset();
+  tb.team.run([&](Rank& me) {
+    DistMatrix a(tb.rma, me, tra ? k : m, tra ? m : k, g, true);
+    DistMatrix b(tb.rma, me, trb ? n : k, trb ? k : n, g, true);
+    DistMatrix c(tb.rma, me, m, n, g, true);
+    MultiplyResult r = pdgemm_model(me, tb.comm, a, b, c, opt);
+    if (me.id() == 0) out = r;
+  });
+  return out;
+}
+
+/// Phantom Cannon run (square grid machines only).
+inline MultiplyResult run_cannon(Testbed& tb, index_t n) {
+  MultiplyResult out;
+  tb.team.reset();
+  tb.team.run([&](Rank& me) {
+    CannonOptions opt;
+    opt.m = opt.n = opt.k = n;
+    opt.phantom = true;
+    MultiplyResult r = cannon_multiply(me, tb.comm, MatrixView{}, MatrixView{},
+                                       MatrixView{}, opt);
+    if (me.id() == 0) out = r;
+  });
+  return out;
+}
+
+/// SRUMMA options matched to a platform, as the paper configures it:
+/// copy-based shared-memory flavor where remote memory is not cacheable.
+inline SrummaOptions platform_options(const MachineModel& m) {
+  SrummaOptions opt;
+  if (m.single_shared_domain && !m.remote_cacheable) {
+    opt.shm_flavor = ShmFlavor::Copy;
+  }
+  return opt;
+}
+
+inline std::string gf(double gflops) { return TableWriter::num(gflops, 1); }
+inline std::string ms(double seconds) {
+  return TableWriter::num(seconds * 1e3, 2);
+}
+
+}  // namespace srumma::bench

@@ -1,0 +1,70 @@
+// Quickstart: multiply two distributed matrices with SRUMMA on a simulated
+// 4-node cluster, with real data, and verify against the serial kernel.
+//
+//   $ ./quickstart --n 256
+//
+// Walks through the whole public API surface: machine model -> Team ->
+// RmaRuntime -> DistMatrix -> srumma_multiply -> result/trace.
+
+#include <cstdio>
+#include <iostream>
+
+#include "blas/gemm.hpp"
+#include "core/srumma.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace srumma;
+
+  CliParser cli;
+  cli.add_flag("n", "256", "matrix size (N x N)");
+  cli.add_flag("nodes", "4", "number of 2-way SMP nodes to simulate");
+  if (!cli.parse(argc, argv)) return 0;
+  const index_t n = cli.get_int("n");
+  const int nodes = static_cast<int>(cli.get_int("nodes"));
+
+  // 1. Pick a machine: a Linux/Myrinet-2000 cluster of dual-CPU nodes.
+  Team team(MachineModel::linux_myrinet(nodes));
+  RmaRuntime rma(team);
+  const ProcGrid grid = ProcGrid::near_square(team.size());
+  std::printf("machine: %s, %d ranks on a %dx%d grid\n",
+              team.machine().name.c_str(), team.size(), grid.p, grid.q);
+
+  // 2. Prepare reference data.
+  Matrix a_global(n, n), b_global(n, n), c_reference(n, n);
+  fill_random(a_global.view(), 1);
+  fill_random(b_global.view(), 2);
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a_global.view(),
+             b_global.view(), 0.0, c_reference.view());
+
+  // 3. Run the SPMD multiply: every rank executes this body.
+  Matrix c_out(n, n);
+  MultiplyResult result;
+  team.run([&](Rank& me) {
+    DistMatrix a(rma, me, n, n, grid);
+    DistMatrix b(rma, me, n, n, grid);
+    DistMatrix c(rma, me, n, n, grid);
+    a.scatter_from(me, a_global.view());
+    b.scatter_from(me, b_global.view());
+
+    MultiplyResult r = srumma_multiply(me, a, b, c, SrummaOptions{});
+
+    if (me.id() == 0) result = r;
+    c.gather_to(me, c_out.view());
+  });
+
+  // 4. Verify and report.
+  const double err = max_abs_diff(c_out.view(), c_reference.view());
+  std::printf("max |error| vs serial dgemm: %.3e\n", err);
+  std::printf("modeled performance: %s\n", describe(result).c_str());
+  std::printf("tasks: %llu direct (in-place views), %llu copied via RMA\n",
+              static_cast<unsigned long long>(result.trace.direct_tasks),
+              static_cast<unsigned long long>(result.trace.copy_tasks));
+  if (err > 1e-9) {
+    std::puts("FAILED: result does not match the serial reference");
+    return 1;
+  }
+  std::puts("OK");
+  return 0;
+}

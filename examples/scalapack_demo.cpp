@@ -1,0 +1,77 @@
+// ScaLAPACK-layout demo: the block-cyclic distribution and the
+// layout-faithful pdgemm, with real data verified against the serial
+// kernel — and a side-by-side with SRUMMA on the same machine model,
+// including the one-sided access fragmentation that motivates SRUMMA's
+// plain block layout.
+//
+//   $ ./scalapack_demo --n 240 --nb 32
+
+#include <cstdio>
+
+#include "blas/gemm.hpp"
+#include "core/srumma.hpp"
+#include "cyclic/pdgemm_cyclic.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace srumma;
+
+  CliParser cli;
+  cli.add_flag("n", "240", "matrix size");
+  cli.add_flag("nb", "32", "block-cyclic blocking factor (ScaLAPACK NB)");
+  if (!cli.parse(argc, argv)) return 0;
+  const index_t n = cli.get_int("n");
+  const index_t nb = cli.get_int("nb");
+
+  Team team(MachineModel::sgi_altix(16));
+  RmaRuntime rma(team);
+  Comm comm(team);
+  const ProcGrid grid = ProcGrid::near_square(team.size());
+  std::printf("%s, %d ranks (%dx%d grid), N=%td, NB=%td\n",
+              team.machine().name.c_str(), team.size(), grid.p, grid.q, n, nb);
+
+  Matrix a_g(n, n), b_g(n, n), c_ref(n, n);
+  fill_random(a_g.view(), 1);
+  fill_random(b_g.view(), 2);
+  blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a_g.view(), b_g.view(),
+             0.0, c_ref.view());
+
+  Matrix c_cyclic(n, n);
+  MultiplyResult r_cyclic, r_srumma;
+  team.run([&](Rank& me) {
+    // The ScaLAPACK path: block-cyclic arrays + SUMMA over MPI.
+    CyclicMatrix a(rma, me, n, n, nb, nb, grid);
+    CyclicMatrix b(rma, me, n, n, nb, nb, grid);
+    CyclicMatrix c(rma, me, n, n, nb, nb, grid);
+    a.scatter_from(me, a_g.view());
+    b.scatter_from(me, b_g.view());
+    MultiplyResult rc = pdgemm_cyclic(me, comm, a, b, c);
+    c.gather_to(me, c_cyclic.view());
+
+    // The SRUMMA path on the same data, plain block layout.
+    DistMatrix ad(rma, me, n, n, grid);
+    DistMatrix bd(rma, me, n, n, grid);
+    DistMatrix cd(rma, me, n, n, grid);
+    ad.scatter_from(me, a_g.view());
+    bd.scatter_from(me, b_g.view());
+    MultiplyResult rs = srumma_multiply(me, ad, bd, cd, SrummaOptions{});
+
+    if (me.id() == 0) {
+      r_cyclic = rc;
+      r_srumma = rs;
+    }
+  });
+
+  const double err = max_abs_diff(c_cyclic.view(), c_ref.view());
+  std::printf("pdgemm (block-cyclic NB=%td): %s\n", nb,
+              describe(r_cyclic).c_str());
+  std::printf("SRUMMA (plain block)       : %s\n", describe(r_srumma).c_str());
+  std::printf("max |error| vs serial      : %.3e\n", err);
+  if (err > 1e-9 * static_cast<double>(n)) {
+    std::puts("FAILED");
+    return 1;
+  }
+  std::puts("OK");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// SCF-like workload: the kind of repeated dense-matrix-multiplication inner
+// loop that motivated SRUMMA's production use inside Global Arrays /
+// NWChem.  Each "iteration" forms a density-like update
+//
+//     F_{t+1} = alpha * C_t^T (H C_t) + beta * F_t
+//
+// i.e. two chained multiplies per iteration, one with a transposed operand,
+// reusing distributed arrays across iterations.  Runs with real data and
+// verifies the final matrix against a serial computation.
+//
+//   $ ./scf_like --n 192 --iters 4
+
+#include <cstdio>
+
+#include "blas/gemm.hpp"
+#include "core/srumma.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace srumma;
+  using blas::Trans;
+
+  CliParser cli;
+  cli.add_flag("n", "192", "matrix dimension");
+  cli.add_flag("iters", "4", "SCF-like iterations");
+  cli.add_flag("nodes", "2", "16-way SMP nodes to simulate (IBM SP model)");
+  if (!cli.parse(argc, argv)) return 0;
+  const index_t n = cli.get_int("n");
+  const int iters = static_cast<int>(cli.get_int("iters"));
+
+  Team team(MachineModel::ibm_sp(static_cast<int>(cli.get_int("nodes"))));
+  RmaRuntime rma(team);
+  const ProcGrid grid = ProcGrid::near_square(team.size());
+  std::printf("SCF-like loop on %s with %d ranks, N=%td, %d iterations\n",
+              team.machine().name.c_str(), team.size(), n, iters);
+
+  // Serial reference computation.
+  Matrix h(n, n), c0(n, n);
+  fill_random(h.view(), 11);
+  fill_random(c0.view(), 12);
+  Matrix f_ref(n, n), tmp_ref(n, n);
+  for (int it = 0; it < iters; ++it) {
+    blas::gemm(Trans::No, Trans::No, 1.0, h.view(), c0.view(), 0.0,
+               tmp_ref.view());
+    blas::gemm(Trans::Yes, Trans::No, 0.5, c0.view(), tmp_ref.view(), 0.5,
+               f_ref.view());
+  }
+
+  Matrix f_out(n, n);
+  double total_elapsed = 0.0;
+  double total_gflops = 0.0;
+  team.run([&](Rank& me) {
+    DistMatrix hd(rma, me, n, n, grid);
+    DistMatrix cd(rma, me, n, n, grid);
+    DistMatrix tmp(rma, me, n, n, grid);
+    DistMatrix fd(rma, me, n, n, grid);
+    hd.scatter_from(me, h.view());
+    cd.scatter_from(me, c0.view());
+
+    double elapsed = 0.0, flops = 0.0;
+    for (int it = 0; it < iters; ++it) {
+      SrummaOptions first;  // tmp = H * C
+      MultiplyResult r1 = srumma_multiply(me, hd, cd, tmp, first);
+      SrummaOptions second;  // F = 0.5 * C^T * tmp + 0.5 * F
+      second.ta = Trans::Yes;
+      second.alpha = 0.5;
+      second.beta = 0.5;
+      MultiplyResult r2 = srumma_multiply(me, cd, tmp, fd, second);
+      elapsed += r1.elapsed + r2.elapsed;
+      flops += r1.trace.flops + r2.trace.flops;
+      if (me.id() == 0) {
+        std::printf("  iter %d: %s | %s\n", it, describe(r1).c_str(),
+                    describe(r2).c_str());
+      }
+    }
+    if (me.id() == 0) {
+      total_elapsed = elapsed;
+      total_gflops = flops / elapsed / 1e9;
+    }
+    fd.gather_to(me, f_out.view());
+  });
+
+  const double err = max_abs_diff(f_out.view(), f_ref.view());
+  std::printf("aggregate: %.2f ms virtual, %.1f GFLOP/s sustained\n",
+              total_elapsed * 1e3, total_gflops);
+  std::printf("max |error| vs serial reference: %.3e\n", err);
+  if (err > 1e-8) {
+    std::puts("FAILED");
+    return 1;
+  }
+  std::puts("OK");
+  return 0;
+}

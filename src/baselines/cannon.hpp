@@ -1,0 +1,39 @@
+#pragma once
+// Cannon's algorithm (1969) — the classic message-passing baseline whose
+// algorithmic efficiency SRUMMA matches (isoefficiency O(P^1.5)).
+//
+// Requires a square sqrt(P) x sqrt(P) grid.  Every rank holds one padded
+// local block of A, B and C (uniform size ceil(m/p) x ..., zero-padded so
+// blocks stay shape-compatible while they circulate).  The algorithm:
+//   1. skew: shift row i of A left by i, column j of B up by j;
+//   2. p steps of  C_local += A_local * B_local  followed by a one-hop
+//      shift of A left and B up.
+// Unlike SRUMMA, every transfer is a synchronizing sendrecv with a
+// neighbour — the coordination SRUMMA's one-sided design removes.
+
+#include "msg/comm.hpp"
+#include "trace/report.hpp"
+#include "util/matrix.hpp"
+
+namespace srumma {
+
+struct CannonOptions {
+  index_t m = 0, n = 0, k = 0;  ///< global dimensions
+  double alpha = 1.0, beta = 0.0;
+  bool phantom = false;  ///< cost model only, no data
+};
+
+/// SPMD collective.  a_block/b_block are this rank's padded local blocks of
+/// size ceil(m/p) x ceil(k/p) and ceil(k/p) x ceil(n/p); both are consumed
+/// (their contents circulate).  c_block is ceil(m/p) x ceil(n/p).  In
+/// phantom mode pass empty views.
+MultiplyResult cannon_multiply(Rank& me, Comm& comm, MatrixView a_block,
+                               MatrixView b_block, MatrixView c_block,
+                               const CannonOptions& opt);
+
+/// Padded block edge sizes for a given global size and grid edge.
+[[nodiscard]] inline index_t cannon_block(index_t n, int p) {
+  return (n + p - 1) / p;
+}
+
+}  // namespace srumma

@@ -1,0 +1,49 @@
+#pragma once
+// Serial BLAS-3 substrate: double-precision general matrix multiply.
+//
+// This plays the role of the vendor dgemm (-lsci/-lessl/-lscs/-lmkl) the
+// paper links against: the serial building block every parallel algorithm
+// calls per block product.  Two implementations are provided:
+//   * gemm_naive   — straightforward triple loop; the correctness oracle.
+//   * gemm_blocked — cache-blocked, packed-panel kernel; the default.
+// Both follow BLAS semantics: C = alpha*op(A)*op(B) + beta*C with
+// column-major storage and explicit leading dimensions.
+
+#include "util/matrix.hpp"
+
+namespace srumma::blas {
+
+/// Transposition selector for gemm operands (BLAS 'N'/'T').
+enum class Trans : char { No = 'N', Yes = 'T' };
+
+/// op(X): rows of op(A) is m, cols of op(B) is n, inner dim is k.
+/// A is lda x (ta==No ? k : m) holding (ta==No ? m x k : k x m);
+/// B is ldb x (tb==No ? n : k) holding (tb==No ? k x n : n x k).
+void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k, double alpha,
+          const double* a, index_t lda, const double* b, index_t ldb,
+          double beta, double* c, index_t ldc);
+
+/// Reference kernel; identical semantics to gemm(), O(mnk) triple loop.
+void gemm_naive(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                double alpha, const double* a, index_t lda, const double* b,
+                index_t ldb, double beta, double* c, index_t ldc);
+
+/// Cache-blocked kernel; identical semantics to gemm().
+void gemm_blocked(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                  double alpha, const double* a, index_t lda, const double* b,
+                  index_t ldb, double beta, double* c, index_t ldc);
+
+/// View-based convenience wrapper.  `a` and `b` are the stored (pre-op)
+/// matrices; dimensions are validated against op(a)*op(b) conformance.
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c);
+
+/// Dimensions of op(X) given the stored view.
+[[nodiscard]] inline index_t op_rows(Trans t, ConstMatrixView x) {
+  return t == Trans::No ? x.rows() : x.cols();
+}
+[[nodiscard]] inline index_t op_cols(Trans t, ConstMatrixView x) {
+  return t == Trans::No ? x.cols() : x.rows();
+}
+
+}  // namespace srumma::blas

@@ -1,0 +1,154 @@
+#include <algorithm>
+#include <cstring>
+
+#include "blas/gemm.hpp"
+#include "util/aligned.hpp"
+
+// Cache-blocked dgemm following the Goto/BLIS decomposition:
+//   jc-loop over N by kNc  -> pack B panel (kc x nc) into Bp
+//   pc-loop over K by kKc
+//   ic-loop over M by kMc  -> pack A panel (mc x kc) into Ap (alpha folded in)
+//   macro kernel: kMr x kNr register tiles with the k-loop innermost region
+//   packed so every load is unit-stride.
+// Transposition is applied during packing, so the kernel itself only ever
+// sees the non-transposed layout.
+
+namespace srumma::blas {
+
+namespace {
+
+constexpr index_t kMc = 128;
+constexpr index_t kKc = 256;
+constexpr index_t kNc = 1024;
+constexpr index_t kMr = 8;
+constexpr index_t kNr = 4;
+
+// Pack op(A)[ic:ic+mc, pc:pc+kc] into Ap as mr-wide row panels:
+// Ap holds ceil(mc/mr) panels, each kc columns of mr contiguous rows,
+// zero-padded to mr.  alpha is folded in here (once per element).
+void pack_a(Trans ta, const double* a, index_t lda, index_t ic, index_t pc,
+            index_t mc, index_t kc, double alpha, double* ap) {
+  for (index_t i0 = 0; i0 < mc; i0 += kMr) {
+    const index_t mr = std::min(kMr, mc - i0);
+    for (index_t p = 0; p < kc; ++p) {
+      for (index_t r = 0; r < mr; ++r) {
+        const index_t gi = ic + i0 + r;
+        const index_t gp = pc + p;
+        const double v =
+            ta == Trans::No ? a[gi + gp * lda] : a[gp + gi * lda];
+        ap[p * kMr + r] = alpha * v;
+      }
+      for (index_t r = mr; r < kMr; ++r) ap[p * kMr + r] = 0.0;
+    }
+    ap += kc * kMr;
+  }
+}
+
+// Pack op(B)[pc:pc+kc, jc:jc+nc] into Bp as nr-wide column panels:
+// Bp holds ceil(nc/nr) panels, each kc rows of nr contiguous columns,
+// zero-padded to nr.
+void pack_b(Trans tb, const double* b, index_t ldb, index_t pc, index_t jc,
+            index_t kc, index_t nc, double* bp) {
+  for (index_t j0 = 0; j0 < nc; j0 += kNr) {
+    const index_t nr = std::min(kNr, nc - j0);
+    for (index_t p = 0; p < kc; ++p) {
+      for (index_t s = 0; s < nr; ++s) {
+        const index_t gp = pc + p;
+        const index_t gj = jc + j0 + s;
+        bp[p * kNr + s] =
+            tb == Trans::No ? b[gp + gj * ldb] : b[gj + gp * ldb];
+      }
+      for (index_t s = nr; s < kNr; ++s) bp[p * kNr + s] = 0.0;
+    }
+    bp += kc * kNr;
+  }
+}
+
+// C[.. mr x nr ..] += Ap_panel * Bp_panel for one register tile.
+// acc is kept in locals so the compiler can hold it in registers and
+// vectorize the p-loop body.
+inline void micro_kernel(index_t kc, const double* ap, const double* bp,
+                         double* c, index_t ldc, index_t mr, index_t nr) {
+  double acc[kMr][kNr] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const double* av = ap + p * kMr;
+    const double* bv = bp + p * kNr;
+    for (index_t s = 0; s < kNr; ++s) {
+      const double bsv = bv[s];
+      for (index_t r = 0; r < kMr; ++r) acc[r][s] += av[r] * bsv;
+    }
+  }
+  for (index_t s = 0; s < nr; ++s)
+    for (index_t r = 0; r < mr; ++r) c[r + s * ldc] += acc[r][s];
+}
+
+}  // namespace
+
+void gemm_blocked(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                  double alpha, const double* a, index_t lda, const double* b,
+                  index_t ldb, double beta, double* c, index_t ldc) {
+  SRUMMA_REQUIRE(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
+  SRUMMA_REQUIRE(ldc >= (m > 0 ? m : 1), "gemm: ldc too small");
+
+  // Apply beta once, up front.
+  if (beta != 1.0) {
+    for (index_t j = 0; j < n; ++j) {
+      double* cj = c + j * ldc;
+      if (beta == 0.0) {
+        std::memset(cj, 0, static_cast<std::size_t>(m) * sizeof(double));
+      } else {
+        for (index_t i = 0; i < m; ++i) cj[i] *= beta;
+      }
+    }
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+
+  thread_local AlignedVector<double> ap_buf;
+  thread_local AlignedVector<double> bp_buf;
+  ap_buf.resize(static_cast<std::size_t>(((kMc + kMr - 1) / kMr) * kMr * kKc));
+  bp_buf.resize(static_cast<std::size_t>(kKc * ((kNc + kNr - 1) / kNr) * kNr));
+
+  for (index_t jc = 0; jc < n; jc += kNc) {
+    const index_t nc = std::min(kNc, n - jc);
+    for (index_t pc = 0; pc < k; pc += kKc) {
+      const index_t kc = std::min(kKc, k - pc);
+      pack_b(tb, b, ldb, pc, jc, kc, nc, bp_buf.data());
+      for (index_t ic = 0; ic < m; ic += kMc) {
+        const index_t mc = std::min(kMc, m - ic);
+        pack_a(ta, a, lda, ic, pc, mc, kc, alpha, ap_buf.data());
+        // Macro kernel over register tiles of the packed panels.
+        for (index_t j0 = 0; j0 < nc; j0 += kNr) {
+          const index_t nr = std::min(kNr, nc - j0);
+          const double* bp = bp_buf.data() + (j0 / kNr) * kc * kNr;
+          for (index_t i0 = 0; i0 < mc; i0 += kMr) {
+            const index_t mr = std::min(kMr, mc - i0);
+            const double* ap = ap_buf.data() + (i0 / kMr) * kc * kMr;
+            micro_kernel(kc, ap, bp, c + (ic + i0) + (jc + j0) * ldc, ldc, mr,
+                         nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k, double alpha,
+          const double* a, index_t lda, const double* b, index_t ldb,
+          double beta, double* c, index_t ldc) {
+  gemm_blocked(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c) {
+  const index_t m = op_rows(ta, a);
+  const index_t ka = op_cols(ta, a);
+  const index_t kb = op_rows(tb, b);
+  const index_t n = op_cols(tb, b);
+  SRUMMA_REQUIRE(ka == kb, "gemm: inner dimensions do not conform");
+  SRUMMA_REQUIRE(c.rows() == m && c.cols() == n,
+                 "gemm: C dimensions do not conform");
+  gemm(ta, tb, m, n, ka, alpha, a.data(), a.ld(), b.data(), b.ld(), beta,
+       c.data(), c.ld());
+}
+
+}  // namespace srumma::blas

@@ -1,0 +1,29 @@
+#include "blas/gemm.hpp"
+
+namespace srumma::blas {
+
+namespace {
+// Element accessor applying the op() transposition: op(A)(i, p).
+inline double at(Trans t, const double* x, index_t ldx, index_t i, index_t p) {
+  return t == Trans::No ? x[i + p * ldx] : x[p + i * ldx];
+}
+}  // namespace
+
+void gemm_naive(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                double alpha, const double* a, index_t lda, const double* b,
+                index_t ldb, double beta, double* c, index_t ldc) {
+  SRUMMA_REQUIRE(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
+  SRUMMA_REQUIRE(ldc >= (m > 0 ? m : 1), "gemm: ldc too small");
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (index_t p = 0; p < k; ++p) {
+        acc += at(ta, a, lda, i, p) * at(tb, b, ldb, p, j);
+      }
+      double& cij = c[i + j * ldc];
+      cij = alpha * acc + (beta == 0.0 ? 0.0 : beta * cij);
+    }
+  }
+}
+
+}  // namespace srumma::blas

@@ -1,0 +1,242 @@
+#include "core/srumma.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "blas/gemm.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace srumma {
+
+namespace {
+
+// One acquired operand patch: either a direct (in-place) view of a peer's
+// block, or a copy fetched into one of the rotating buffers.
+struct OperandState {
+  Matrix buf;            // backing storage for the copy path
+  PatchHandle handle;    // pending fetch (copy path only)
+  ConstMatrixView view;  // what dgemm will read (empty in phantom mode)
+  // Patch identity, for A-reuse matching.
+  index_t i0 = -1, j0 = -1, m = -1, n = -1;
+  bool valid = false;
+  bool direct = false;
+  double rate_factor = 1.0;  // dgemm rate multiplier for direct access
+  // Modeled buffer capacity this state has grown to via copy-path
+  // acquires (tracked even in phantom mode, where nothing is allocated).
+  std::uint64_t cap_bytes = 0;
+  // Highest task index that reads this state.  A state may only be evicted
+  // (refetched with a different patch) once that task has been computed —
+  // reuse runs can keep a buffer live across many pipeline slots.
+  std::ptrdiff_t last_user = -1;
+
+  [[nodiscard]] bool matches(index_t pi0, index_t pj0, index_t pm,
+                             index_t pn) const {
+    return valid && i0 == pi0 && j0 == pj0 && m == pm && n == pn;
+  }
+};
+
+// Acquire a patch of `mat` into `st` (direct view or nonblocking fetch).
+void acquire(Rank& me, DistMatrix& mat, index_t i0, index_t j0, index_t mi,
+             index_t nj, ShmFlavor flavor, OperandState& st) {
+  const MachineModel& mm = me.machine();
+  st.handle = PatchHandle{};
+  st.view = ConstMatrixView{};
+  st.i0 = i0;
+  st.j0 = j0;
+  st.m = mi;
+  st.n = nj;
+  st.valid = true;
+  st.rate_factor = 1.0;
+
+  if (flavor == ShmFlavor::Direct) {
+    const std::optional<int> owner =
+        mat.single_owner_in_domain(me, i0, j0, mi, nj);
+    if (owner.has_value()) {
+      st.direct = true;
+      // dgemm streams operands straight out of the owner's memory; when the
+      // owner sits on another physical node the kernel runs at the
+      // machine's remote-direct rate (non-cacheable on the X1, NUMA-far on
+      // the Altix).
+      st.rate_factor = mm.node_of(*owner) == me.node()
+                           ? 1.0
+                           : mm.remote_direct_rate_factor;
+      if (!mat.phantom()) {
+        st.view = *mat.direct_view(me, i0, j0, mi, nj);
+      }
+      me.trace().direct_tasks += 1;
+      return;
+    }
+  }
+  // Copy path: fetch into the rotating buffer with a (possibly) nonblocking
+  // generalized get.
+  st.direct = false;
+  MatrixView dst;
+  if (!mat.phantom()) {
+    if (st.buf.rows() < mi || st.buf.cols() < nj) {
+      st.buf = Matrix(mi, nj);
+    }
+    dst = st.buf.block(0, 0, mi, nj);
+    st.view = dst;
+  }
+  st.handle = mat.fetch_nb(me, i0, j0, mi, nj, dst);
+  st.cap_bytes = std::max(
+      st.cap_bytes,
+      static_cast<std::uint64_t>(mi) * static_cast<std::uint64_t>(nj) *
+          sizeof(double));
+  me.trace().copy_tasks += 1;
+}
+
+}  // namespace
+
+MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
+                               DistMatrix& c, const SrummaOptions& opt) {
+  SRUMMA_REQUIRE(a.phantom() == c.phantom() && b.phantom() == c.phantom(),
+                 "srumma: phantom flags of A, B, C must agree");
+
+  me.barrier();
+  const double start_vt = me.clock().now();
+  const TraceCounters my_start = me.trace();
+
+  SrummaOptions tuned = opt;
+  if (tuned.k_chunk == 0) {
+    // Auto block size: ~4 pipeline tasks per owner segment keeps the first
+    // (unoverlapped) get small and the later gets hidden, without dropping
+    // below a latency-amortizing floor.  This reproduces the paper's
+    // empirically-tuned block size at the model level.
+    const index_t k = opt.ta == blas::Trans::Yes ? a.rows() : a.cols();
+    const int grid_edge = std::max(c.grid().p, c.grid().q);
+    tuned.k_chunk = std::clamp<index_t>(k / (4 * grid_edge), 64, 512);
+  }
+
+  if (tuned.max_buffer_bytes > 0) {
+    // Shrink the tiling until (lookahead+2) A patches + (lookahead+1) B
+    // patches of the worst-case extents fit the budget.  Patch extents are
+    // bounded by (c_chunk x k_chunk), so halve both until they fit (floor 8
+    // to keep dgemm calls non-degenerate).
+    const std::uint64_t slots =
+        2 * static_cast<std::uint64_t>(tuned.lookahead) + 3;
+    const index_t m_local = c.block_rows(me.id());
+    const index_t n_local = c.block_cols(me.id());
+    if (tuned.c_chunk == 0)
+      tuned.c_chunk = std::max<index_t>(m_local, n_local);
+    while (slots * static_cast<std::uint64_t>(
+                       std::min(tuned.c_chunk,
+                                std::max(m_local, n_local))) *
+                   static_cast<std::uint64_t>(tuned.k_chunk) * sizeof(double) >
+               tuned.max_buffer_bytes &&
+           (tuned.c_chunk > 8 || tuned.k_chunk > 8)) {
+      if (tuned.c_chunk > 8) tuned.c_chunk = (tuned.c_chunk + 1) / 2;
+      if (tuned.k_chunk > 8) tuned.k_chunk = (tuned.k_chunk + 1) / 2;
+    }
+  }
+
+  TaskPlan plan = build_task_plan(me, a, b, c, tuned);
+
+  // Apply beta to my local C block once, before accumulation.
+  if (!c.phantom() && opt.beta != 1.0) {
+    MatrixView mine = c.local_view(me);
+    if (opt.beta == 0.0) {
+      mine.fill(0.0);
+    } else {
+      for (index_t j = 0; j < mine.cols(); ++j)
+        for (index_t i = 0; i < mine.rows(); ++i) mine(i, j) *= opt.beta;
+    }
+  }
+
+  // Pipeline state (the paper's B1/B2 double buffer, generalized to a
+  // prefetch depth of `lookahead`).  B patches are unique per task, so a
+  // (lookahead+1)-deep rotation is safe: task t's B slot is not rewritten
+  // before compute(t).  A patches may be *reused* by several in-flight
+  // tasks (Section 3.1's locality consideration), so A states are evicted
+  // by last-user age instead of rotation: a pool of lookahead+2 states
+  // always contains one whose readers have all been computed.
+  SRUMMA_REQUIRE(opt.lookahead >= 1 && opt.lookahead <= 64,
+                 "srumma: lookahead must be in [1, 64]");
+  const int lookahead = opt.nonblocking ? opt.lookahead : 0;
+  const std::size_t n_slots = static_cast<std::size_t>(lookahead) + 1;
+  std::vector<OperandState> a_state(n_slots + 1);
+  std::vector<OperandState> b_state(n_slots);
+  std::vector<std::size_t> slot_a(n_slots, 0);
+
+  const auto& tasks = plan.tasks;
+
+  auto issue = [&](std::size_t t_idx) {
+    const Task& t = tasks[t_idx];
+    const std::size_t slot = t_idx % n_slots;
+    // A: reuse a live matching patch if the policy allows.
+    std::ptrdiff_t ai = -1;
+    if (opt.ordering.a_reuse) {
+      for (std::size_t i = 0; i < a_state.size(); ++i) {
+        if (a_state[i].matches(t.a_i0, t.a_j0, t.a_m, t.a_n)) {
+          ai = static_cast<std::ptrdiff_t>(i);
+          break;
+        }
+      }
+    }
+    if (ai < 0) {
+      // Evict the state whose last reader is oldest; with pool size
+      // lookahead+2 it is guaranteed to have been computed already.
+      ai = 0;
+      for (std::size_t i = 1; i < a_state.size(); ++i) {
+        if (a_state[i].last_user < a_state[static_cast<std::size_t>(ai)].last_user)
+          ai = static_cast<std::ptrdiff_t>(i);
+      }
+      // issue(t_idx) runs in iteration max(0, t_idx - lookahead); every
+      // task below that index has been computed, so its buffers are free.
+      const std::ptrdiff_t compute_floor =
+          std::max<std::ptrdiff_t>(0, static_cast<std::ptrdiff_t>(t_idx) -
+                                          lookahead);
+      SRUMMA_ASSERT(a_state[static_cast<std::size_t>(ai)].last_user <
+                        compute_floor,
+                    "srumma pipeline: evicting an A buffer still in flight");
+      acquire(me, a, t.a_i0, t.a_j0, t.a_m, t.a_n, opt.shm_flavor,
+              a_state[static_cast<std::size_t>(ai)]);
+    }
+    a_state[static_cast<std::size_t>(ai)].last_user =
+        static_cast<std::ptrdiff_t>(t_idx);
+    slot_a[slot] = static_cast<std::size_t>(ai);
+    acquire(me, b, t.b_i0, t.b_j0, t.b_m, t.b_n, opt.shm_flavor,
+            b_state[slot]);
+  };
+
+  std::size_t next_issue = 0;
+  for (std::size_t t_idx = 0; t_idx < tasks.size(); ++t_idx) {
+    // Keep up to `lookahead` tasks in flight beyond the current one.
+    while (next_issue < tasks.size() &&
+           next_issue <= t_idx + static_cast<std::size_t>(lookahead)) {
+      issue(next_issue++);
+    }
+    const Task& t = tasks[t_idx];
+    const std::size_t slot = t_idx % n_slots;
+    OperandState& as = a_state[slot_a[slot]];
+    OperandState& bs = b_state[slot];
+    if (as.handle.pending) a.wait(me, as.handle);
+    if (bs.handle.pending) b.wait(me, bs.handle);
+
+    if (!c.phantom()) {
+      MatrixView c_tile = c.local_view(me).block(t.ci, t.cj, t.cm, t.cn);
+      blas::gemm(opt.ta, opt.tb, opt.alpha, as.view, bs.view, 1.0, c_tile);
+    }
+    me.charge_gemm(t.cm, t.cn, t.kk,
+                   std::min(as.rate_factor, bs.rate_factor));
+  }
+
+  // Pipeline buffer footprint: what the copy-path acquires grew the
+  // operand states to (zero when every task ran on direct views).
+  {
+    std::uint64_t bytes = 0;
+    for (const OperandState& st : a_state) bytes += st.cap_bytes;
+    for (const OperandState& st : b_state) bytes += st.cap_bytes;
+    me.trace().buffer_bytes_peak = bytes;  // per-run value
+  }
+
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  return collect_result(me, start_vt, my_start,
+                        gemm_flops(static_cast<double>(m),
+                                   static_cast<double>(n),
+                                   static_cast<double>(plan.k_total)));
+}
+
+}  // namespace srumma

@@ -1,0 +1,156 @@
+#include "core/task_plan.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace srumma {
+
+std::vector<index_t> k_segment_bounds(const BlockDist1D& a_axis,
+                                      const BlockDist1D& b_axis,
+                                      index_t k_chunk) {
+  SRUMMA_REQUIRE(a_axis.total() == b_axis.total(),
+                 "k_segment_bounds: axes disagree on K");
+  SRUMMA_REQUIRE(k_chunk >= 0, "k_chunk must be non-negative");
+  const index_t k = a_axis.total();
+  std::vector<index_t> bounds;
+  for (int p = 0; p <= a_axis.parts(); ++p) bounds.push_back(a_axis.start(p));
+  for (int p = 0; p <= b_axis.parts(); ++p) bounds.push_back(b_axis.start(p));
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  // Drop degenerate leading/trailing duplicates of empty parts.
+  if (k_chunk > 0) {
+    std::vector<index_t> refined;
+    for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {
+      for (index_t x = bounds[s]; x < bounds[s + 1]; x += k_chunk)
+        refined.push_back(x);
+    }
+    refined.push_back(k);
+    bounds = std::move(refined);
+  }
+  return bounds;
+}
+
+std::vector<index_t> tile_bounds(index_t n, index_t chunk) {
+  SRUMMA_REQUIRE(n >= 0 && chunk >= 0, "tile_bounds: negative argument");
+  std::vector<index_t> bounds;
+  if (chunk == 0) chunk = std::max<index_t>(n, 1);
+  for (index_t x = 0; x < n; x += chunk) bounds.push_back(x);
+  bounds.push_back(n);
+  return bounds;
+}
+
+TaskPlan build_task_plan(Rank& me, const DistMatrix& a, const DistMatrix& b,
+                         const DistMatrix& c, const SrummaOptions& opt) {
+  const bool tra = opt.ta == blas::Trans::Yes;
+  const bool trb = opt.tb == blas::Trans::Yes;
+
+  // Conformance: op(A) is m x k, op(B) is k x n, C is m x n.
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = tra ? a.rows() : a.cols();
+  SRUMMA_REQUIRE((tra ? a.cols() : a.rows()) == m,
+                 "srumma: op(A) row count must match C rows");
+  SRUMMA_REQUIRE((trb ? b.rows() : b.cols()) == n,
+                 "srumma: op(B) column count must match C cols");
+  SRUMMA_REQUIRE((trb ? b.cols() : b.rows()) == k,
+                 "srumma: op(A) and op(B) inner dimensions must conform");
+
+  // K axis distributions of the stored matrices.
+  const BlockDist1D& a_k_axis = tra ? a.row_dist() : a.col_dist();
+  const BlockDist1D& b_k_axis = trb ? b.col_dist() : b.row_dist();
+
+  const std::vector<index_t> ks =
+      k_segment_bounds(a_k_axis, b_k_axis, opt.k_chunk);
+
+  // My C block in global coordinates.
+  const index_t r0 = c.block_row_start(me.id());
+  const index_t c0 = c.block_col_start(me.id());
+  const index_t cm_all = c.block_rows(me.id());
+  const index_t cn_all = c.block_cols(me.id());
+  const std::vector<index_t> is = tile_bounds(cm_all, opt.c_chunk);
+  const std::vector<index_t> js = tile_bounds(cn_all, opt.c_chunk);
+
+  TaskPlan plan;
+  plan.k_total = k;
+
+  auto emit = [&](index_t ti, index_t tj, std::size_t s) {
+    Task t;
+    t.ci = is[ti];
+    t.cm = is[ti + 1] - is[ti];
+    t.cj = js[tj];
+    t.cn = js[tj + 1] - js[tj];
+    t.k0 = ks[s];
+    t.kk = ks[s + 1] - ks[s];
+    if (t.cm == 0 || t.cn == 0 || t.kk == 0) return;
+
+    const index_t gi = r0 + t.ci;  // global C-row range of the tile
+    const index_t gj = c0 + t.cj;  // global C-col range of the tile
+    // A patch: op(A)[gi : gi+cm, k0 : k0+kk] in stored coordinates.
+    if (tra) {
+      t.a_i0 = t.k0; t.a_j0 = gi; t.a_m = t.kk; t.a_n = t.cm;
+    } else {
+      t.a_i0 = gi; t.a_j0 = t.k0; t.a_m = t.cm; t.a_n = t.kk;
+    }
+    // B patch: op(B)[k0 : k0+kk, gj : gj+cn] in stored coordinates.
+    if (trb) {
+      t.b_i0 = gj; t.b_j0 = t.k0; t.b_m = t.cn; t.b_n = t.kk;
+    } else {
+      t.b_i0 = t.k0; t.b_j0 = gj; t.b_m = t.kk; t.b_n = t.cn;
+    }
+    t.a_in_domain = a.rect_in_domain(me, t.a_i0, t.a_j0, t.a_m, t.a_n);
+    t.b_in_domain = b.rect_in_domain(me, t.b_i0, t.b_j0, t.b_m, t.b_n);
+    t.a_owner = a.owner(t.a_i0, t.a_j0);
+    t.b_owner = b.owner(t.b_i0, t.b_j0);
+    t.a_owner_col = a.grid().coords_of(t.a_owner).second;
+
+    plan.max_a_m = std::max(plan.max_a_m, t.a_m);
+    plan.max_a_n = std::max(plan.max_a_n, t.a_n);
+    plan.max_b_m = std::max(plan.max_b_m, t.b_m);
+    plan.max_b_n = std::max(plan.max_b_n, t.b_n);
+    plan.tasks.push_back(t);
+  };
+
+  const std::size_t nseg = ks.size() - 1;
+  if (opt.ordering.a_reuse) {
+    // (ci, k, cj): consecutive tasks share the A patch across C tiles.
+    for (std::size_t ti = 0; ti + 1 < is.size(); ++ti)
+      for (std::size_t s = 0; s < nseg; ++s)
+        for (std::size_t tj = 0; tj + 1 < js.size(); ++tj)
+          emit(static_cast<index_t>(ti), static_cast<index_t>(tj), s);
+  } else {
+    for (std::size_t ti = 0; ti + 1 < is.size(); ++ti)
+      for (std::size_t tj = 0; tj + 1 < js.size(); ++tj)
+        for (std::size_t s = 0; s < nseg; ++s)
+          emit(static_cast<index_t>(ti), static_cast<index_t>(tj), s);
+  }
+
+  order_tasks(plan.tasks, opt.ordering,
+              c.grid().coords_of(me.id()).first % a.grid().q);
+  return plan;
+}
+
+void order_tasks(std::vector<Task>& tasks, const OrderingPolicy& policy,
+                 int diag_col) {
+  if (tasks.empty()) return;
+
+  auto remote_begin = tasks.begin();
+  if (policy.shm_first) {
+    remote_begin = std::stable_partition(
+        tasks.begin(), tasks.end(), [](const Task& t) { return t.in_domain(); });
+  }
+  if (policy.diagonal_shift && remote_begin != tasks.end()) {
+    // Start the remote run at a task fetching from the "diagonal" A owner
+    // column, so the ranks of one node hit distinct source nodes first
+    // (paper Fig. 4).  Rotation preserves the relative cyclic order (and
+    // thus A-reuse runs, up to the single split point).
+    auto pivot = std::find_if(remote_begin, tasks.end(), [&](const Task& t) {
+      return t.a_owner_col == diag_col;
+    });
+    if (pivot != tasks.end() && pivot != remote_begin) {
+      std::rotate(remote_begin, pivot, tasks.end());
+    }
+  }
+}
+
+}  // namespace srumma

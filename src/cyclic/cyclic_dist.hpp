@@ -1,0 +1,77 @@
+#pragma once
+// 1-D block-cyclic distribution (the ScaLAPACK layout).
+//
+// Element i belongs to part (i / nb) mod parts; a part's local storage
+// concatenates its blocks in global order.  This is the distribution the
+// real pdgemm operates on — the plain block distribution used by SRUMMA is
+// the special case nb = ceil(n/parts).  Formulas follow ScaLAPACK's
+// numroc/indxg2l/indxl2g with zero source offset.
+
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+
+namespace srumma {
+
+class CyclicDist1D {
+ public:
+  CyclicDist1D() = default;
+  CyclicDist1D(index_t n, index_t nb, int parts)
+      : n_(n), nb_(nb), parts_(parts) {
+    SRUMMA_REQUIRE(n >= 0 && nb >= 1 && parts >= 1,
+                   "cyclic distribution: need n >= 0, nb >= 1, parts >= 1");
+  }
+
+  [[nodiscard]] index_t total() const noexcept { return n_; }
+  [[nodiscard]] index_t block() const noexcept { return nb_; }
+  [[nodiscard]] int parts() const noexcept { return parts_; }
+
+  /// Owning part of global index i (indxg2p).
+  [[nodiscard]] int owner(index_t i) const {
+    SRUMMA_REQUIRE(i >= 0 && i < n_, "cyclic owner: index out of range");
+    return static_cast<int>((i / nb_) % parts_);
+  }
+
+  /// Number of elements stored by `part` (numroc).
+  [[nodiscard]] index_t local_count(int part) const {
+    SRUMMA_REQUIRE(part >= 0 && part < parts_, "cyclic count: bad part");
+    const index_t nblocks = n_ / nb_;        // complete blocks
+    const index_t rem = n_ % nb_;            // trailing partial block
+    index_t count = (nblocks / parts_) * nb_;
+    const index_t leftover = nblocks % parts_;
+    if (part < static_cast<int>(leftover)) {
+      count += nb_;
+    } else if (part == static_cast<int>(leftover)) {
+      count += rem;
+    }
+    return count;
+  }
+
+  /// Local index of global i within its owner (indxg2l).
+  [[nodiscard]] index_t to_local(index_t i) const {
+    SRUMMA_REQUIRE(i >= 0 && i < n_, "cyclic to_local: index out of range");
+    return (i / (nb_ * parts_)) * nb_ + i % nb_;
+  }
+
+  /// Global index of local l on `part` (indxl2g).
+  [[nodiscard]] index_t to_global(int part, index_t l) const {
+    SRUMMA_REQUIRE(part >= 0 && part < parts_, "cyclic to_global: bad part");
+    SRUMMA_REQUIRE(l >= 0 && l < local_count(part),
+                   "cyclic to_global: local index out of range");
+    return (l / nb_) * (nb_ * parts_) + static_cast<index_t>(part) * nb_ +
+           l % nb_;
+  }
+
+  /// Length of the contiguous run of elements starting at global i that
+  /// stay within one block (and hence one owner): min(nb - i%nb, n - i).
+  [[nodiscard]] index_t run_length(index_t i) const {
+    SRUMMA_REQUIRE(i >= 0 && i < n_, "cyclic run_length: index out of range");
+    return std::min(nb_ - i % nb_, n_ - i);
+  }
+
+ private:
+  index_t n_ = 0;
+  index_t nb_ = 1;
+  int parts_ = 1;
+};
+
+}  // namespace srumma

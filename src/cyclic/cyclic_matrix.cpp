@@ -1,0 +1,115 @@
+#include "cyclic/cyclic_matrix.hpp"
+
+#include <algorithm>
+
+namespace srumma {
+
+CyclicMatrix::CyclicMatrix(RmaRuntime& rma, Rank& me, index_t m, index_t n,
+                           index_t mb, index_t nb, ProcGrid grid, bool phantom)
+    : rma_(&rma),
+      rows_(m, mb, grid.p),
+      cols_(n, nb, grid.q),
+      grid_(grid),
+      phantom_(phantom) {
+  SRUMMA_REQUIRE(grid.size() == rma.team().size(),
+                 "CyclicMatrix: grid size must equal team size");
+  const auto [pi, pj] = grid_.coords_of(me.id());
+  const std::size_t elems =
+      phantom_ ? 0
+               : static_cast<std::size_t>(rows_.local_count(pi)) *
+                     static_cast<std::size_t>(cols_.local_count(pj));
+  region_ = rma.malloc_symmetric(me, elems);
+}
+
+void CyclicMatrix::destroy(Rank& me) {
+  rma_->free_symmetric(me, region_);
+  region_ = SymmetricRegion{};
+}
+
+MatrixView CyclicMatrix::local_view(Rank& me) {
+  SRUMMA_REQUIRE(!phantom_, "local_view: phantom matrix has no storage");
+  const index_t lm = local_rows(me.id());
+  const index_t ln = local_cols(me.id());
+  return MatrixView(region_.base(me.id()), lm, ln, std::max<index_t>(lm, 1));
+}
+
+CyclicMatrix::GlobalRef CyclicMatrix::locate(index_t i, index_t j) const {
+  GlobalRef ref;
+  ref.owner = owner(i, j);
+  ref.li = rows_.to_local(i);
+  ref.lj = cols_.to_local(j);
+  return ref;
+}
+
+void CyclicMatrix::scatter_from(Rank& me, ConstMatrixView global) {
+  SRUMMA_REQUIRE(!phantom_, "scatter: phantom matrix has no storage");
+  SRUMMA_REQUIRE(global.rows() == rows() && global.cols() == cols(),
+                 "scatter: global view dimension mismatch");
+  const auto [pi, pj] = grid_.coords_of(me.id());
+  MatrixView mine = local_view(me);
+  for (index_t lj = 0; lj < mine.cols(); ++lj) {
+    const index_t gj = cols_.to_global(pj, lj);
+    for (index_t li = 0; li < mine.rows(); ++li) {
+      mine(li, lj) = global(rows_.to_global(pi, li), gj);
+    }
+  }
+  me.barrier();
+}
+
+void CyclicMatrix::gather_to(Rank& me, MatrixView global) {
+  SRUMMA_REQUIRE(!phantom_, "gather: phantom matrix has no storage");
+  SRUMMA_REQUIRE(global.rows() == rows() && global.cols() == cols(),
+                 "gather: global view dimension mismatch");
+  me.barrier();
+  const auto [pi, pj] = grid_.coords_of(me.id());
+  MatrixView mine = local_view(me);
+  for (index_t lj = 0; lj < mine.cols(); ++lj) {
+    const index_t gj = cols_.to_global(pj, lj);
+    for (index_t li = 0; li < mine.rows(); ++li) {
+      global(rows_.to_global(pi, li), gj) = mine(li, lj);
+    }
+  }
+  me.barrier();
+}
+
+std::vector<RmaHandle> CyclicMatrix::fetch_nb(Rank& me, index_t i0, index_t j0,
+                                              index_t mi, index_t nj,
+                                              MatrixView dst) {
+  SRUMMA_REQUIRE(mi >= 0 && nj >= 0 && i0 >= 0 && j0 >= 0 &&
+                     i0 + mi <= rows() && j0 + nj <= cols(),
+                 "fetch_nb: rectangle out of range");
+  if (!phantom_) {
+    SRUMMA_REQUIRE(dst.rows() == mi && dst.cols() == nj,
+                   "fetch_nb: destination must match rectangle");
+  }
+  std::vector<RmaHandle> handles;
+  // One get per intersected (row-block, col-block) tile.
+  for (index_t j = j0; j < j0 + nj;) {
+    const index_t jrun = std::min(cols_.run_length(j), j0 + nj - j);
+    for (index_t i = i0; i < i0 + mi;) {
+      const index_t irun = std::min(rows_.run_length(i), i0 + mi - i);
+      const GlobalRef ref = locate(i, j);
+      const index_t lm =
+          std::max<index_t>(local_rows(ref.owner), 1);
+      const double* base = region_.base(ref.owner);
+      const double* src =
+          base == nullptr ? nullptr : base + ref.li + ref.lj * lm;
+      double* d = phantom_ ? nullptr
+                           : dst.data() + (i - i0) + (j - j0) * dst.ld();
+      handles.push_back(rma_->nbget2d(
+          me, ref.owner, src, lm, irun, jrun, d,
+          phantom_ ? std::max<index_t>(irun, 1) : dst.ld()));
+      i += irun;
+    }
+    j += jrun;
+  }
+  return handles;
+}
+
+void CyclicMatrix::wait(Rank& me, std::vector<RmaHandle>& handles) {
+  for (auto& h : handles) {
+    if (h.pending) rma_->wait(me, h);
+  }
+}
+
+}  // namespace srumma

@@ -1,0 +1,80 @@
+#pragma once
+// 2-D block-cyclic distributed matrix (the ScaLAPACK data layout), backed
+// by the same one-sided symmetric heap as DistMatrix.
+//
+// Each rank stores its local_rows x local_cols elements packed column-major
+// — exactly ScaLAPACK's local array convention — so the cyclic pdgemm's
+// local products write straight into the local array.  A generalized
+// one-sided fetch is provided for verification (a global rectangle decays
+// into one get per intersected (row-block, column-block) tile, which is
+// O((m/mb) * (n/nb)) pieces — fine for tests, and an honest reflection of
+// why one-sided algorithms prefer plain block layouts).
+
+#include "cyclic/cyclic_dist.hpp"
+#include "dist/grid.hpp"
+#include "rma/rma.hpp"
+#include "runtime/team.hpp"
+
+namespace srumma {
+
+// Reuse DistMatrix's multi-piece completion record.
+struct PatchHandle;
+
+class CyclicMatrix {
+ public:
+  /// Collective: every rank of the team calls with identical arguments.
+  /// mb/nb are the row/column blocking factors (ScaLAPACK MB/NB).
+  CyclicMatrix(RmaRuntime& rma, Rank& me, index_t m, index_t n, index_t mb,
+               index_t nb, ProcGrid grid, bool phantom = false);
+
+  void destroy(Rank& me);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_.total(); }
+  [[nodiscard]] index_t cols() const noexcept { return cols_.total(); }
+  [[nodiscard]] const CyclicDist1D& row_dist() const noexcept { return rows_; }
+  [[nodiscard]] const CyclicDist1D& col_dist() const noexcept { return cols_; }
+  [[nodiscard]] const ProcGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] bool phantom() const noexcept { return phantom_; }
+
+  [[nodiscard]] int owner(index_t i, index_t j) const {
+    return grid_.rank_of(rows_.owner(i), cols_.owner(j));
+  }
+  [[nodiscard]] index_t local_rows(int rank) const {
+    return rows_.local_count(grid_.coords_of(rank).first);
+  }
+  [[nodiscard]] index_t local_cols(int rank) const {
+    return cols_.local_count(grid_.coords_of(rank).second);
+  }
+
+  /// My packed local array (ScaLAPACK's sub(A)).
+  [[nodiscard]] MatrixView local_view(Rank& me);
+
+  /// Map a global element to (owner rank, local row, local col).
+  struct GlobalRef {
+    int owner;
+    index_t li, lj;
+  };
+  [[nodiscard]] GlobalRef locate(index_t i, index_t j) const;
+
+  /// Set my local elements from a full matrix / copy them back (tests).
+  void scatter_from(Rank& me, ConstMatrixView global);
+  void gather_to(Rank& me, MatrixView global);
+
+  /// Nonblocking generalized one-sided get of a global rectangle.
+  [[nodiscard]] std::vector<RmaHandle> fetch_nb(Rank& me, index_t i0,
+                                                index_t j0, index_t mi,
+                                                index_t nj, MatrixView dst);
+  void wait(Rank& me, std::vector<RmaHandle>& handles);
+
+  [[nodiscard]] RmaRuntime& rma() noexcept { return *rma_; }
+
+ private:
+  RmaRuntime* rma_ = nullptr;
+  CyclicDist1D rows_;
+  CyclicDist1D cols_;
+  ProcGrid grid_;
+  SymmetricRegion region_;
+  bool phantom_ = false;
+};
+
+}  // namespace srumma

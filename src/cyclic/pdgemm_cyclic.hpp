@@ -1,0 +1,33 @@
+#pragma once
+// SUMMA over the block-cyclic layout — faithful to PBLAS pdgemm's actual
+// data distribution (the plain-block pdgemm model in src/baselines is the
+// equal-blocks special case).
+//
+// For K panel t (one column block of A / row block of B, width kb):
+//   * grid column (t mod q) owns the A panel; each root (i, t mod q) packs
+//     its local-rows x kb piece and broadcasts it along grid row i;
+//   * grid row (t mod p) owns the B panel; each root (t mod p, j) packs its
+//     kb x local-cols piece and broadcasts it down grid column j;
+//   * every rank accumulates C_local += A_piece * B_piece — with the
+//     cyclic layout the local product *is* the local part of the global
+//     product, no index translation needed.
+
+#include "cyclic/cyclic_matrix.hpp"
+#include "msg/comm.hpp"
+#include "trace/report.hpp"
+
+namespace srumma {
+
+struct PdgemmCyclicOptions {
+  double alpha = 1.0;
+  double beta = 0.0;
+};
+
+/// SPMD collective: C := alpha*A*B + beta*C over block-cyclic matrices.
+/// Blocking factors must conform: A is (m x k, mb x kb), B is (k x n,
+/// kb x nb), C is (m x n, mb x nb), all on one grid.
+MultiplyResult pdgemm_cyclic(Rank& me, Comm& comm, CyclicMatrix& a,
+                             CyclicMatrix& b, CyclicMatrix& c,
+                             const PdgemmCyclicOptions& opt = {});
+
+}  // namespace srumma

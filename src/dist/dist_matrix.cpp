@@ -1,0 +1,231 @@
+#include "dist/dist_matrix.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace srumma {
+
+DistMatrix::DistMatrix(RmaRuntime& rma, Rank& me, index_t m, index_t n,
+                       ProcGrid grid, bool phantom)
+    : rma_(&rma),
+      m_(m),
+      n_(n),
+      grid_(grid),
+      rows_(m, grid.p),
+      cols_(n, grid.q),
+      phantom_(phantom) {
+  SRUMMA_REQUIRE(grid.size() == rma.team().size(),
+                 "DistMatrix: grid size must equal team size");
+  const auto [pi, pj] = grid_.coords_of(me.id());
+  const std::size_t elems =
+      phantom_ ? 0
+               : static_cast<std::size_t>(rows_.count(pi)) *
+                     static_cast<std::size_t>(cols_.count(pj));
+  region_ = rma.malloc_symmetric(me, elems);
+}
+
+void DistMatrix::destroy(Rank& me) {
+  rma_->free_symmetric(me, region_);
+  region_ = SymmetricRegion{};
+}
+
+index_t DistMatrix::block_row_start(int rank) const {
+  return rows_.start(grid_.coords_of(rank).first);
+}
+index_t DistMatrix::block_rows(int rank) const {
+  return rows_.count(grid_.coords_of(rank).first);
+}
+index_t DistMatrix::block_col_start(int rank) const {
+  return cols_.start(grid_.coords_of(rank).second);
+}
+index_t DistMatrix::block_cols(int rank) const {
+  return cols_.count(grid_.coords_of(rank).second);
+}
+
+MatrixView DistMatrix::local_view(Rank& me) {
+  SRUMMA_REQUIRE(!phantom_, "local_view: phantom matrix has no storage");
+  const index_t lm = block_rows(me.id());
+  const index_t ln = block_cols(me.id());
+  return MatrixView(region_.base(me.id()), lm, ln, std::max<index_t>(lm, 1));
+}
+
+void DistMatrix::check_rect(index_t i0, index_t j0, index_t mi,
+                            index_t nj) const {
+  SRUMMA_REQUIRE(mi >= 0 && nj >= 0, "rectangle extent must be non-negative");
+  SRUMMA_REQUIRE(i0 >= 0 && j0 >= 0 && i0 + mi <= m_ && j0 + nj <= n_,
+                 "rectangle exceeds matrix bounds");
+}
+
+std::optional<int> DistMatrix::single_owner_in_domain(Rank& me, index_t i0,
+                                                      index_t j0, index_t mi,
+                                                      index_t nj) const {
+  check_rect(i0, j0, mi, nj);
+  if (mi == 0 || nj == 0) return std::nullopt;
+  const int o = owner(i0, j0);
+  if (owner(i0 + mi - 1, j0 + nj - 1) != o) return std::nullopt;
+  if (!rma_->same_domain(me.id(), o)) return std::nullopt;
+  return o;
+}
+
+std::optional<ConstMatrixView> DistMatrix::direct_view(Rank& me, index_t i0,
+                                                       index_t j0, index_t mi,
+                                                       index_t nj) const {
+  check_rect(i0, j0, mi, nj);
+  if (phantom_ || mi == 0 || nj == 0) return std::nullopt;
+  const int o = owner(i0, j0);
+  // Whole rectangle within one owner block?
+  if (owner(i0 + mi - 1, j0 + nj - 1) != o) return std::nullopt;
+  if (!rma_->same_domain(me.id(), o)) return std::nullopt;
+  const auto [pi, pj] = grid_.coords_of(o);
+  const index_t lm = rows_.count(pi);
+  const index_t li = i0 - rows_.start(pi);
+  const index_t lj = j0 - cols_.start(pj);
+  const double* base = region_.base(o);
+  return ConstMatrixView(base + li + lj * lm, mi, nj, lm);
+}
+
+bool DistMatrix::rect_in_domain(Rank& me, index_t i0, index_t j0, index_t mi,
+                                index_t nj) const {
+  check_rect(i0, j0, mi, nj);
+  if (mi == 0 || nj == 0) return true;
+  const int pi_lo = rows_.owner(i0);
+  const int pi_hi = rows_.owner(i0 + mi - 1);
+  const int pj_lo = cols_.owner(j0);
+  const int pj_hi = cols_.owner(j0 + nj - 1);
+  for (int pi = pi_lo; pi <= pi_hi; ++pi)
+    for (int pj = pj_lo; pj <= pj_hi; ++pj)
+      if (!rma_->same_domain(me.id(), grid_.rank_of(pi, pj))) return false;
+  return true;
+}
+
+template <typename Fn>
+void DistMatrix::for_each_piece(index_t i0, index_t j0, index_t mi, index_t nj,
+                                Fn&& fn) {
+  const int pi_lo = rows_.owner(i0);
+  const int pi_hi = rows_.owner(i0 + mi - 1);
+  const int pj_lo = cols_.owner(j0);
+  const int pj_hi = cols_.owner(j0 + nj - 1);
+  for (int pj = pj_lo; pj <= pj_hi; ++pj) {
+    const index_t cs = cols_.start(pj);
+    const index_t jlo = std::max(j0, cs);
+    const index_t jhi = std::min(j0 + nj, cs + cols_.count(pj));
+    for (int pi = pi_lo; pi <= pi_hi; ++pi) {
+      const index_t rs = rows_.start(pi);
+      const index_t ilo = std::max(i0, rs);
+      const index_t ihi = std::min(i0 + mi, rs + rows_.count(pi));
+      Piece p;
+      p.owner = grid_.rank_of(pi, pj);
+      p.gi = ilo;
+      p.gj = jlo;
+      p.rows = ihi - ilo;
+      p.cols = jhi - jlo;
+      p.owner_ld = std::max<index_t>(rows_.count(pi), 1);
+      double* base = region_.base(p.owner);
+      p.owner_ptr =
+          base == nullptr ? nullptr : base + (ilo - rs) + (jlo - cs) * p.owner_ld;
+      fn(p);
+    }
+  }
+}
+
+PatchHandle DistMatrix::fetch_nb(Rank& me, index_t i0, index_t j0, index_t mi,
+                                 index_t nj, MatrixView dst) {
+  check_rect(i0, j0, mi, nj);
+  if (!phantom_) {
+    SRUMMA_REQUIRE(dst.rows() == mi && dst.cols() == nj,
+                   "fetch_nb: destination view must match patch extent");
+  }
+  PatchHandle ph;
+  if (mi == 0 || nj == 0) return ph;
+  ph.pending = true;
+  for_each_piece(i0, j0, mi, nj, [&](const Piece& p) {
+    double* d = phantom_ ? nullptr
+                         : dst.data() + (p.gi - i0) + (p.gj - j0) * dst.ld();
+    ph.pieces.push_back(rma_->nbget2d(
+        me, p.owner, p.owner_ptr, p.owner_ld, p.rows, p.cols, d,
+        phantom_ ? std::max<index_t>(p.rows, 1) : dst.ld()));
+  });
+  return ph;
+}
+
+PatchHandle DistMatrix::store_nb(Rank& me, index_t i0, index_t j0, index_t mi,
+                                 index_t nj, ConstMatrixView src) {
+  check_rect(i0, j0, mi, nj);
+  if (!phantom_) {
+    SRUMMA_REQUIRE(src.rows() == mi && src.cols() == nj,
+                   "store_nb: source view must match patch extent");
+  }
+  PatchHandle ph;
+  if (mi == 0 || nj == 0) return ph;
+  ph.pending = true;
+  for_each_piece(i0, j0, mi, nj, [&](const Piece& p) {
+    const double* s =
+        phantom_ ? nullptr
+                 : src.data() + (p.gi - i0) + (p.gj - j0) * src.ld();
+    ph.pieces.push_back(rma_->nbput2d(
+        me, p.owner, s, phantom_ ? std::max<index_t>(p.rows, 1) : src.ld(),
+        p.rows, p.cols, p.owner_ptr, p.owner_ld));
+  });
+  return ph;
+}
+
+PatchHandle DistMatrix::accumulate_nb(Rank& me, index_t i0, index_t j0,
+                                      index_t mi, index_t nj, double alpha,
+                                      ConstMatrixView src) {
+  check_rect(i0, j0, mi, nj);
+  if (!phantom_) {
+    SRUMMA_REQUIRE(src.rows() == mi && src.cols() == nj,
+                   "accumulate_nb: source view must match patch extent");
+  }
+  PatchHandle ph;
+  if (mi == 0 || nj == 0) return ph;
+  ph.pending = true;
+  for_each_piece(i0, j0, mi, nj, [&](const Piece& p) {
+    const double* s =
+        phantom_ ? nullptr
+                 : src.data() + (p.gi - i0) + (p.gj - j0) * src.ld();
+    ph.pieces.push_back(rma_->nbacc2d(
+        me, p.owner, alpha, s,
+        phantom_ ? std::max<index_t>(p.rows, 1) : src.ld(), p.rows, p.cols,
+        p.owner_ptr, p.owner_ld));
+  });
+  return ph;
+}
+
+void DistMatrix::wait(Rank& me, PatchHandle& h) {
+  if (!h.pending) return;
+  for (auto& piece : h.pieces) {
+    if (piece.pending) rma_->wait(me, piece);
+  }
+  h.pending = false;
+}
+
+void DistMatrix::fill_coords_local(Rank& me) {
+  SRUMMA_REQUIRE(!phantom_, "fill: phantom matrix has no storage");
+  fill_coords(local_view(me), block_row_start(me.id()),
+              block_col_start(me.id()));
+}
+
+void DistMatrix::scatter_from(Rank& me, ConstMatrixView global) {
+  SRUMMA_REQUIRE(!phantom_, "scatter: phantom matrix has no storage");
+  SRUMMA_REQUIRE(global.rows() == m_ && global.cols() == n_,
+                 "scatter: global view dimension mismatch");
+  MatrixView mine = local_view(me);
+  copy(global.block(block_row_start(me.id()), block_col_start(me.id()),
+                    mine.rows(), mine.cols()),
+       mine);
+}
+
+void DistMatrix::gather_to(Rank& me, MatrixView global) {
+  SRUMMA_REQUIRE(!phantom_, "gather: phantom matrix has no storage");
+  SRUMMA_REQUIRE(global.rows() == m_ && global.cols() == n_,
+                 "gather: global view dimension mismatch");
+  me.barrier();
+  MatrixView mine = local_view(me);
+  copy(mine, global.block(block_row_start(me.id()), block_col_start(me.id()),
+                          mine.rows(), mine.cols()));
+  me.barrier();
+}
+
+}  // namespace srumma

@@ -1,0 +1,165 @@
+#pragma once
+// Distributed dense matrix over a process grid (the Global-Arrays-style
+// substrate SRUMMA operates on).
+//
+// Each rank owns one contiguous block; storage comes from the RMA layer's
+// collective symmetric allocation, so every rank knows every block's base
+// pointer.  Access paths:
+//
+//   * local_view()      — my own block, direct;
+//   * direct_view()     — a peer's block region by load/store, legal only
+//                         within my shared-memory domain (the paper's
+//                         "direct access" flavor on Altix / Cray X1);
+//   * fetch_nb()/wait() — a *generalized get* of any global rectangle: one
+//                         nonblocking RMA get per intersected owner block
+//                         (how GA's NGA_Get works, and how SRUMMA fetches
+//                         its A_ik / B_kj panels).
+//
+// A DistMatrix is a per-rank value object describing one global array;
+// every rank constructs it collectively with identical metadata.
+//
+// Phantom mode allocates no data and moves no bytes but charges full
+// communication costs — the model-only benches run N=16000-class problems
+// through the identical code path this way.
+
+#include <optional>
+#include <vector>
+
+#include "dist/grid.hpp"
+#include "rma/rma.hpp"
+#include "runtime/team.hpp"
+#include "util/matrix.hpp"
+
+namespace srumma {
+
+/// Completion handle for a generalized (multi-owner) patch fetch.
+struct PatchHandle {
+  std::vector<RmaHandle> pieces;
+  bool pending = false;
+
+  /// Latest completion time across the pieces (0 when empty).
+  [[nodiscard]] double completion() const {
+    double c = 0.0;
+    for (const auto& h : pieces) c = std::max(c, h.completion);
+    return c;
+  }
+};
+
+class DistMatrix {
+ public:
+  /// Collective constructor: every rank of the team must call with the same
+  /// (m, n, grid, phantom); grid.size() must equal the team size.
+  DistMatrix(RmaRuntime& rma, Rank& me, index_t m, index_t n, ProcGrid grid,
+             bool phantom = false);
+
+  /// Collective destruction of the backing storage.  Optional — storage is
+  /// otherwise reclaimed when the RmaRuntime is destroyed.
+  void destroy(Rank& me);
+
+  [[nodiscard]] index_t rows() const noexcept { return m_; }
+  [[nodiscard]] index_t cols() const noexcept { return n_; }
+  [[nodiscard]] const ProcGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] const BlockDist1D& row_dist() const noexcept { return rows_; }
+  [[nodiscard]] const BlockDist1D& col_dist() const noexcept { return cols_; }
+  [[nodiscard]] bool phantom() const noexcept { return phantom_; }
+
+  /// Owning rank of global element (i, j).
+  [[nodiscard]] int owner(index_t i, index_t j) const {
+    return grid_.rank_of(rows_.owner(i), cols_.owner(j));
+  }
+
+  /// Global row/column range owned by `rank`.
+  [[nodiscard]] index_t block_row_start(int rank) const;
+  [[nodiscard]] index_t block_rows(int rank) const;
+  [[nodiscard]] index_t block_col_start(int rank) const;
+  [[nodiscard]] index_t block_cols(int rank) const;
+
+  /// Mutable view of the calling rank's local block (not phantom).
+  [[nodiscard]] MatrixView local_view(Rank& me);
+
+  /// Read-only load/store view of the sub-rectangle when it lies entirely
+  /// within one owner block AND that owner shares my memory domain (and the
+  /// matrix is not phantom).  Returns nullopt otherwise.
+  [[nodiscard]] std::optional<ConstMatrixView> direct_view(Rank& me,
+                                                           index_t i0,
+                                                           index_t j0,
+                                                           index_t mi,
+                                                           index_t nj) const;
+
+  /// True when every owner of the rectangle is in my shared-memory domain.
+  [[nodiscard]] bool rect_in_domain(Rank& me, index_t i0, index_t j0,
+                                    index_t mi, index_t nj) const;
+
+  /// The owner rank when the rectangle lies in exactly one block whose
+  /// owner shares my memory domain — i.e. direct load/store access is
+  /// possible; nullopt otherwise.  Works for phantom matrices too (used to
+  /// *model* direct access when no data exists).
+  [[nodiscard]] std::optional<int> single_owner_in_domain(Rank& me, index_t i0,
+                                                          index_t j0,
+                                                          index_t mi,
+                                                          index_t nj) const;
+
+  /// Owner rank of the rectangle's upper-left element (used by the
+  /// diagonal-shift ordering to classify a task's primary source).
+  [[nodiscard]] int rect_primary_owner(index_t i0, index_t j0) const {
+    return owner(i0, j0);
+  }
+
+  /// Nonblocking generalized get of [i0, i0+mi) x [j0, j0+nj) into dst.
+  /// dst must be mi x nj (ignored for phantom matrices; pass an empty view).
+  [[nodiscard]] PatchHandle fetch_nb(Rank& me, index_t i0, index_t j0,
+                                     index_t mi, index_t nj, MatrixView dst);
+
+  /// Nonblocking generalized put: write src into the global rectangle
+  /// (one one-sided put per intersected owner block).
+  [[nodiscard]] PatchHandle store_nb(Rank& me, index_t i0, index_t j0,
+                                     index_t mi, index_t nj,
+                                     ConstMatrixView src);
+
+  /// Nonblocking generalized accumulate: global rect += alpha * src, with
+  /// element-level atomicity against concurrent accumulates.
+  [[nodiscard]] PatchHandle accumulate_nb(Rank& me, index_t i0, index_t j0,
+                                          index_t mi, index_t nj, double alpha,
+                                          ConstMatrixView src);
+
+  /// Complete a generalized one-sided operation.
+  void wait(Rank& me, PatchHandle& h);
+
+  /// Fill my local block with the deterministic coordinate function so that
+  /// distributed and serial copies of the same logical matrix agree.
+  void fill_coords_local(Rank& me);
+
+  /// Set my local block from the corresponding region of a full matrix.
+  void scatter_from(Rank& me, ConstMatrixView global);
+
+  /// Collective: copy every local block into a caller-shared full matrix.
+  /// All ranks must pass views of the same m x n storage.
+  void gather_to(Rank& me, MatrixView global);
+
+  [[nodiscard]] RmaRuntime& rma() noexcept { return *rma_; }
+
+ private:
+  void check_rect(index_t i0, index_t j0, index_t mi, index_t nj) const;
+
+  /// One owner-block intersection of a global rectangle.
+  struct Piece {
+    int owner;            ///< rank holding this piece
+    index_t gi, gj;       ///< global upper-left of the piece
+    index_t rows, cols;   ///< extent
+    double* owner_ptr;    ///< address inside the owner block (null: phantom)
+    index_t owner_ld;     ///< owner block leading dimension
+  };
+  template <typename Fn>
+  void for_each_piece(index_t i0, index_t j0, index_t mi, index_t nj, Fn&& fn);
+
+  RmaRuntime* rma_ = nullptr;
+  index_t m_ = 0;
+  index_t n_ = 0;
+  ProcGrid grid_;
+  BlockDist1D rows_;
+  BlockDist1D cols_;
+  SymmetricRegion region_;
+  bool phantom_ = false;
+};
+
+}  // namespace srumma

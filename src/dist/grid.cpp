@@ -1,0 +1,14 @@
+#include "dist/grid.hpp"
+
+namespace srumma {
+
+ProcGrid ProcGrid::near_square(int nranks) {
+  SRUMMA_REQUIRE(nranks >= 1, "need at least one rank");
+  int q = 1;
+  for (int d = 1; d * d <= nranks; ++d) {
+    if (nranks % d == 0) q = d;
+  }
+  return ProcGrid{nranks / q, q};
+}
+
+}  // namespace srumma

@@ -1,0 +1,221 @@
+#include "ga/global_array.hpp"
+
+#include <cmath>
+
+#include "core/srumma.hpp"
+#include "util/rng.hpp"
+
+namespace srumma::ga {
+
+GlobalArray::GlobalArray(RmaRuntime& rma, Rank& me, index_t rows, index_t cols,
+                         std::optional<ProcGrid> grid, bool phantom)
+    : m_(rma, me, rows, cols,
+         grid.value_or(ProcGrid::near_square(rma.team().size())), phantom) {}
+
+void GlobalArray::fill(Rank& me, double value) {
+  if (!m_.phantom()) m_.local_view(me).fill(value);
+  me.barrier();
+}
+
+void GlobalArray::fill_pattern(Rank& me) {
+  if (!m_.phantom()) m_.fill_coords_local(me);
+  me.barrier();
+}
+
+void GlobalArray::get(Rank& me, index_t i0, index_t j0, index_t mi, index_t nj,
+                      MatrixView out) {
+  PatchHandle h = m_.fetch_nb(me, i0, j0, mi, nj, out);
+  m_.wait(me, h);
+}
+
+void GlobalArray::put(Rank& me, index_t i0, index_t j0, index_t mi, index_t nj,
+                      ConstMatrixView in) {
+  PatchHandle h = m_.store_nb(me, i0, j0, mi, nj, in);
+  m_.wait(me, h);
+}
+
+void GlobalArray::acc(Rank& me, index_t i0, index_t j0, index_t mi, index_t nj,
+                      double alpha, ConstMatrixView in) {
+  PatchHandle h = m_.accumulate_nb(me, i0, j0, mi, nj, alpha, in);
+  m_.wait(me, h);
+}
+
+std::pair<std::pair<index_t, index_t>, std::pair<index_t, index_t>>
+GlobalArray::distribution(int rank) const {
+  return {{m_.block_row_start(rank),
+           m_.block_row_start(rank) + m_.block_rows(rank)},
+          {m_.block_col_start(rank),
+           m_.block_col_start(rank) + m_.block_cols(rank)}};
+}
+
+MultiplyResult dgemm(Rank& me, char ta, char tb, double alpha, GlobalArray& a,
+                     GlobalArray& b, double beta, GlobalArray& c,
+                     const SrummaOptions& tuning) {
+  auto to_trans = [](char t) {
+    switch (t) {
+      case 'n':
+      case 'N':
+        return blas::Trans::No;
+      case 't':
+      case 'T':
+        return blas::Trans::Yes;
+      default:
+        throw Error(std::string("ga::dgemm: bad transpose flag '") + t + "'");
+    }
+  };
+  SrummaOptions opt = tuning;
+  opt.ta = to_trans(ta);
+  opt.tb = to_trans(tb);
+  opt.alpha = alpha;
+  opt.beta = beta;
+  return srumma_multiply(me, a.dist(), b.dist(), c.dist(), opt);
+}
+
+void transpose(Rank& me, GlobalArray& a, GlobalArray& b) {
+  SRUMMA_REQUIRE(a.rows() == b.cols() && a.cols() == b.rows(),
+                 "ga::transpose: b must be a transposed");
+  SRUMMA_REQUIRE(a.phantom() == b.phantom(),
+                 "ga::transpose: phantom flags must agree");
+  me.barrier();
+  // Pull the transposed source patch of my block, then transpose locally.
+  const index_t r0 = b.dist().block_row_start(me.id());
+  const index_t bm = b.dist().block_rows(me.id());
+  const index_t c0 = b.dist().block_col_start(me.id());
+  const index_t bn = b.dist().block_cols(me.id());
+  if (a.phantom()) {
+    PatchHandle h = a.dist().fetch_nb(me, c0, r0, bn, bm, MatrixView{});
+    a.dist().wait(me, h);
+  } else if (bm > 0 && bn > 0) {
+    Matrix buf(bn, bm);  // source orientation: a[c0:c0+bn, r0:r0+bm]
+    PatchHandle h = a.dist().fetch_nb(me, c0, r0, bn, bm, buf.view());
+    a.dist().wait(me, h);
+    srumma::transpose(buf.view(), b.access(me));
+    me.charge_seconds(static_cast<double>(bm * bn) * sizeof(double) /
+                      me.machine().shm_bw);
+  }
+  me.barrier();
+}
+
+void add(Rank& me, double alpha, GlobalArray& a, double beta, GlobalArray& b,
+         GlobalArray& c) {
+  SRUMMA_REQUIRE(a.rows() == c.rows() && a.cols() == c.cols() &&
+                     b.rows() == c.rows() && b.cols() == c.cols(),
+                 "ga::add: shapes must match");
+  me.barrier();
+  if (!c.phantom()) {
+    MatrixView av = a.access(me);
+    MatrixView bv = b.access(me);
+    MatrixView cv = c.access(me);
+    for (index_t j = 0; j < cv.cols(); ++j)
+      for (index_t i = 0; i < cv.rows(); ++i)
+        cv(i, j) = alpha * av(i, j) + beta * bv(i, j);
+  }
+  me.charge_seconds(
+      3.0 * static_cast<double>(c.dist().block_rows(me.id())) *
+      static_cast<double>(c.dist().block_cols(me.id())) * sizeof(double) /
+      me.machine().shm_bw);
+  me.barrier();
+}
+
+double dot(Rank& me, GlobalArray& a, GlobalArray& b) {
+  SRUMMA_REQUIRE(!a.phantom() && !b.phantom(),
+                 "ga::dot: phantom arrays have no data");
+  SRUMMA_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "ga::dot: shapes must match");
+  me.barrier();
+  MatrixView av = a.access(me);
+  MatrixView bv = b.access(me);
+  double partial = 0.0;
+  for (index_t j = 0; j < av.cols(); ++j)
+    for (index_t i = 0; i < av.rows(); ++i) partial += av(i, j) * bv(i, j);
+  Team& team = me.team();
+  team.value_board(me.id()) = partial;
+  me.barrier();
+  double total = 0.0;
+  for (int r = 0; r < team.size(); ++r) total += team.value_board(r);
+  me.barrier();
+  return total;
+}
+
+void scale(Rank& me, GlobalArray& a, double value) {
+  me.barrier();
+  if (!a.phantom()) {
+    MatrixView av = a.access(me);
+    for (index_t j = 0; j < av.cols(); ++j)
+      for (index_t i = 0; i < av.rows(); ++i) av(i, j) *= value;
+  }
+  me.barrier();
+}
+
+void copy_array(Rank& me, GlobalArray& a, GlobalArray& b) {
+  SRUMMA_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "ga::copy: shapes must match");
+  SRUMMA_REQUIRE(a.phantom() == b.phantom(),
+                 "ga::copy: phantom flags must agree");
+  me.barrier();
+  if (!a.phantom()) {
+    // Same grid -> block-local copy; otherwise pull my block one-sided.
+    if (a.dist().grid().p == b.dist().grid().p &&
+        a.dist().grid().q == b.dist().grid().q) {
+      copy(ConstMatrixView(a.access(me)), b.access(me));
+    } else {
+      MatrixView mine = b.access(me);
+      PatchHandle h = a.dist().fetch_nb(
+          me, b.dist().block_row_start(me.id()),
+          b.dist().block_col_start(me.id()), mine.rows(), mine.cols(), mine);
+      a.dist().wait(me, h);
+    }
+  }
+  me.charge_seconds(static_cast<double>(b.dist().block_rows(me.id()) *
+                                        b.dist().block_cols(me.id())) *
+                    sizeof(double) / me.machine().shm_bw);
+  me.barrier();
+}
+
+double norm_inf(Rank& me, GlobalArray& a) {
+  SRUMMA_REQUIRE(!a.phantom(), "ga::norm_inf: phantom arrays have no data");
+  Team& team = me.team();
+  me.barrier();
+  // Partial row sums of my block, reduced across grid rows via the board:
+  // simplest correct scheme — every rank publishes the max over *full*
+  // global rows it can assemble one-sided.  To stay one-sided and simple,
+  // each rank fetches its block-row band of the whole matrix row by block.
+  const index_t r0 = a.dist().block_row_start(me.id());
+  const index_t rn = a.dist().block_rows(me.id());
+  double local_max = 0.0;
+  if (rn > 0 && a.dist().block_cols(me.id()) > 0) {
+    // Only one rank per grid row does the work for that row band (the one
+    // in grid column 0), so bands are counted exactly once.
+    if (a.dist().grid().coords_of(me.id()).second == 0) {
+      Matrix band(rn, a.cols());
+      PatchHandle h = a.dist().fetch_nb(me, r0, 0, rn, a.cols(), band.view());
+      a.dist().wait(me, h);
+      for (index_t i = 0; i < rn; ++i) {
+        double s = 0.0;
+        for (index_t j = 0; j < a.cols(); ++j) s += std::abs(band(i, j));
+        local_max = std::max(local_max, s);
+      }
+    }
+  }
+  team.value_board(me.id()) = local_max;
+  me.barrier();
+  double result = 0.0;
+  for (int r = 0; r < team.size(); ++r)
+    result = std::max(result, team.value_board(r));
+  me.barrier();
+  return result;
+}
+
+void symmetrize(Rank& me, GlobalArray& a) {
+  SRUMMA_REQUIRE(a.rows() == a.cols(), "ga::symmetrize: array must be square");
+  Team& team = me.team();
+  // a := (a + a^T)/2 via a temporary transposed copy (one-sided).
+  GlobalArray at(a.rma(), me, a.rows(), a.cols(), a.dist().grid(),
+                 a.phantom());
+  transpose(me, a, at);
+  add(me, 0.5, a, 0.5, at, a);
+  at.destroy(me);
+  (void)team;
+}
+
+}  // namespace srumma::ga

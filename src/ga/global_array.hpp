@@ -1,0 +1,111 @@
+#pragma once
+// Global-Arrays-style convenience layer.
+//
+// SRUMMA's production home is the Global Arrays toolkit (it became GA's
+// ga_dgemm, running underneath NWChem).  This layer reproduces the GA
+// programming surface the paper's users see: collective array creation,
+// one-sided get/put/accumulate on arbitrary global patches, sync, local
+// access, and a dgemm entry point that dispatches to SRUMMA.  It is a thin
+// veneer over DistMatrix/RmaRuntime — every operation maps to the same
+// primitives the core algorithm uses.
+//
+// All operations are one-sided unless documented collective; the usual GA
+// discipline applies: bracket communication epochs with sync().
+
+#include <optional>
+#include <utility>
+
+#include "core/options.hpp"
+#include "dist/dist_matrix.hpp"
+#include "trace/report.hpp"
+
+namespace srumma::ga {
+
+/// A dense, block-distributed 2-D global array (GA's 2-D double arrays).
+class GlobalArray {
+ public:
+  /// Collective creation over the whole team; the grid defaults to the
+  /// most-square factorization of the team size (GA's default layout).
+  GlobalArray(RmaRuntime& rma, Rank& me, index_t rows, index_t cols,
+              std::optional<ProcGrid> grid = std::nullopt,
+              bool phantom = false);
+
+  /// Collective destruction of the backing storage (GA_Destroy).
+  void destroy(Rank& me) { m_.destroy(me); }
+
+  [[nodiscard]] index_t rows() const noexcept { return m_.rows(); }
+  [[nodiscard]] index_t cols() const noexcept { return m_.cols(); }
+  [[nodiscard]] bool phantom() const noexcept { return m_.phantom(); }
+
+  /// Collective: set every element (GA_Fill).
+  void fill(Rank& me, double value);
+
+  /// Collective: fill with the deterministic coordinate pattern (handy for
+  /// tests — the same logical matrix regardless of grid shape).
+  void fill_pattern(Rank& me);
+
+  /// One-sided read of the global patch [i0, i0+mi) x [j0, j0+nj) (NGA_Get).
+  void get(Rank& me, index_t i0, index_t j0, index_t mi, index_t nj,
+           MatrixView out);
+
+  /// One-sided write of a global patch (NGA_Put).
+  void put(Rank& me, index_t i0, index_t j0, index_t mi, index_t nj,
+           ConstMatrixView in);
+
+  /// One-sided atomic accumulate: patch += alpha * in (NGA_Acc).
+  void acc(Rank& me, index_t i0, index_t j0, index_t mi, index_t nj,
+           double alpha, ConstMatrixView in);
+
+  /// Barrier + memory epoch boundary (GA_Sync).
+  void sync(Rank& me) { me.barrier(); }
+
+  /// Direct view of my local block (GA_Access); valid until the array dies.
+  [[nodiscard]] MatrixView access(Rank& me) { return m_.local_view(me); }
+
+  /// Global [row, col) ranges owned by `rank` (GA_Distribution).
+  [[nodiscard]] std::pair<std::pair<index_t, index_t>,
+                          std::pair<index_t, index_t>>
+  distribution(int rank) const;
+
+  /// The underlying distributed matrix (escape hatch for the core API).
+  [[nodiscard]] DistMatrix& dist() noexcept { return m_; }
+  [[nodiscard]] RmaRuntime& rma() noexcept { return m_.rma(); }
+
+ private:
+  DistMatrix m_;
+};
+
+/// Collective GA_Dgemm: c := alpha * op(a) op(b) + beta * c via SRUMMA.
+/// `ta`/`tb` follow the BLAS convention ('n'/'N' or 't'/'T').
+MultiplyResult dgemm(Rank& me, char ta, char tb, double alpha, GlobalArray& a,
+                     GlobalArray& b, double beta, GlobalArray& c,
+                     const SrummaOptions& tuning = SrummaOptions{});
+
+/// Collective GA_Transpose: b := a^T, implemented with one-sided gets only
+/// (each rank pulls the transposed patch of its own block) — no
+/// sender-receiver coordination, in the spirit of SRUMMA.
+void transpose(Rank& me, GlobalArray& a, GlobalArray& b);
+
+/// Collective element-wise GA_Add: c := alpha*a + beta*b (shapes equal,
+/// same distribution).
+void add(Rank& me, double alpha, GlobalArray& a, double beta, GlobalArray& b,
+         GlobalArray& c);
+
+/// Collective GA_Ddot: sum_ij a(i,j) * b(i,j); identical result on every
+/// rank.  Not available for phantom arrays.
+double dot(Rank& me, GlobalArray& a, GlobalArray& b);
+
+/// Collective scale in place: a *= value (GA_Scale).
+void scale(Rank& me, GlobalArray& a, double value);
+
+/// Collective element-wise copy: b := a (GA_Copy; same shape and grid).
+void copy_array(Rank& me, GlobalArray& a, GlobalArray& b);
+
+/// Collective infinity norm: max_i sum_j |a(i,j)|.  Identical on all ranks.
+double norm_inf(Rank& me, GlobalArray& a);
+
+/// Collective symmetrization in place: a := (a + a^T)/2 (GA_Symmetrize;
+/// square arrays).  Uses the one-sided transpose internally.
+void symmetrize(Rank& me, GlobalArray& a);
+
+}  // namespace srumma::ga

@@ -1,0 +1,189 @@
+#include "machine/machine.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace srumma {
+
+double DgemmRateModel::rate(index_t m, index_t n, index_t k) const {
+  if (m <= 0 || n <= 0 || k <= 0) return peak_flops * asymptote;
+  const double s = std::cbrt(static_cast<double>(m) * static_cast<double>(n) *
+                             static_cast<double>(k));
+  return peak_flops * asymptote * s / (s + half_size);
+}
+
+double DgemmRateModel::time(index_t m, index_t n, index_t k) const {
+  if (m <= 0 || n <= 0 || k <= 0) return 0.0;
+  return gemm_flops(static_cast<double>(m), static_cast<double>(n),
+                    static_cast<double>(k)) /
+         rate(m, n, k);
+}
+
+MachineModel MachineModel::linux_myrinet(int num_nodes) {
+  SRUMMA_REQUIRE(num_nodes >= 1, "need at least one node");
+  MachineModel m;
+  m.name = "Linux-Myrinet";
+  m.num_nodes = num_nodes;
+  m.ranks_per_node = 2;  // dual-Xeon nodes
+  m.single_shared_domain = false;
+  m.remote_cacheable = true;  // irrelevant: no cross-node load/store
+  m.remote_direct_rate_factor = 1.0;
+  m.dgemm = {4.8_GFLOPs, 0.58, 24.0};  // 2.4 GHz Xeon + MKL
+  m.shm_latency = 0.8_us;
+  m.shm_bw = 1.0_GBs;
+  m.shm_agg_bw_per_node = 1.8_GBs;
+  m.net_latency = 12_us;  // GM get
+  m.net_bw = 245.0_MBs;   // Myrinet-2000
+  m.zero_copy = true;     // GM RDMA on registered memory
+  m.host_copy_bw = 700.0_MBs;
+  m.mpi_latency = 9_us;
+  m.eager_threshold = 16_KiB;
+  m.mpi_copy_bw = 700.0_MBs;
+  m.rendezvous_setup = 2.0;
+  m.barrier_hop_latency = 10_us;
+  m.noise_daemon_interval = 0.5;   // commodity cluster: daemons share CPUs
+  m.noise_daemon_duration = 2.0_ms;
+  return m;
+}
+
+MachineModel MachineModel::ibm_sp(int num_nodes) {
+  SRUMMA_REQUIRE(num_nodes >= 1, "need at least one node");
+  MachineModel m;
+  m.name = "IBM-SP";
+  m.num_nodes = num_nodes;
+  m.ranks_per_node = 16;  // 16-way Power-3 Nighthawk nodes
+  m.single_shared_domain = false;
+  m.remote_cacheable = true;
+  m.remote_direct_rate_factor = 1.0;
+  m.dgemm = {1.5_GFLOPs, 0.70, 24.0};  // 375 MHz Power-3 + ESSL
+  m.shm_latency = 0.7_us;
+  m.shm_bw = 0.8_GBs;
+  m.shm_agg_bw_per_node = 1.6_GBs;  // 16 CPUs share the node memory system
+  m.net_latency = 30_us;            // LAPI interrupt-driven get (paper: high)
+  m.net_bw = 800.0_MBs;             // Colony switch (dual plane), per node
+  m.zero_copy = false;              // LAPI requires host-CPU copies
+  m.host_copy_bw = 1.2_GBs;
+  m.mpi_latency = 18_us;  // polling-based, lower latency than LAPI get
+  m.eager_threshold = 16_KiB;
+  m.mpi_copy_bw = 800.0_MBs;
+  m.rendezvous_setup = 2.0;
+  m.barrier_hop_latency = 20_us;
+  m.noise_daemon_interval = 0.5;
+  m.noise_daemon_duration = 3.0_ms;  // AIX daemons on 16-way nodes
+  return m;
+}
+
+MachineModel MachineModel::cray_x1(int num_nodes) {
+  SRUMMA_REQUIRE(num_nodes >= 1, "need at least one node");
+  MachineModel m;
+  m.name = "Cray-X1";
+  m.num_nodes = num_nodes;
+  m.ranks_per_node = 4;  // 4 MSPs per node
+  m.single_shared_domain = true;   // machine-wide load/store
+  m.remote_cacheable = false;      // remote lines are not cacheable
+  m.remote_direct_rate_factor = 0.12;  // vector dgemm starves on uncached data
+  m.dgemm = {12.8_GFLOPs, 0.85, 48.0};  // MSP + libsci
+  m.shm_latency = 2_us;     // global memory access setup
+  m.shm_bw = 6.0_GBs;       // single-MSP block-copy bandwidth
+  m.shm_agg_bw_per_node = 20.0_GBs;  // X1 node memory bandwidth is huge
+  m.net_latency = 5_us;     // only used if configured multi-domain
+  m.net_bw = 4.0_GBs;
+  m.zero_copy = true;
+  m.host_copy_bw = 4.0_GBs;
+  m.mpi_latency = 8_us;
+  m.eager_threshold = 16_KiB;
+  m.mpi_copy_bw = 1.2_GBs;  // MPI pays buffering copies; paper Fig. 6
+  m.rendezvous_setup = 2.0;
+  m.barrier_hop_latency = 6_us;
+  m.noise_daemon_interval = 1.0;   // lightweight microkernel on compute MSPs
+  m.noise_daemon_duration = 2.0_ms;
+  return m;
+}
+
+MachineModel MachineModel::sgi_altix(int num_cpus) {
+  SRUMMA_REQUIRE(num_cpus >= 1, "need at least one CPU");
+  SRUMMA_REQUIRE(num_cpus % 2 == 0 || num_cpus == 1,
+                 "Altix is built from 2-CPU bricks");
+  MachineModel m;
+  m.name = "SGI-Altix";
+  m.num_nodes = (num_cpus + 1) / 2;
+  m.ranks_per_node = num_cpus == 1 ? 1 : 2;  // 2 CPUs per brick
+  m.single_shared_domain = true;  // NUMAlink: one cacheable address space
+  m.remote_cacheable = true;
+  m.remote_direct_rate_factor = 0.97;  // cacheable: only first-touch misses
+  m.dgemm = {6.0_GFLOPs, 0.62, 32.0};  // 1.5 GHz Itanium-2 + SCSL
+  m.shm_latency = 1_us;
+  m.shm_bw = 1.8_GBs;
+  m.shm_agg_bw_per_node = 3.2_GBs;  // per-brick share of NUMAlink fabric
+  m.net_latency = 3_us;             // unused in single-domain runs
+  m.net_bw = 1.6_GBs;
+  m.zero_copy = true;
+  m.host_copy_bw = 1.8_GBs;
+  m.mpi_latency = 2.8_us;
+  m.eager_threshold = 16_KiB;
+  m.mpi_copy_bw = 0.9_GBs;
+  m.rendezvous_setup = 2.0;
+  m.barrier_hop_latency = 3_us;
+  // Full Linux on every CPU; the paper blames daemon preemption for the
+  // reduced scaling of the largest runs when all 128 CPUs are used.
+  m.noise_daemon_interval = 0.3;
+  m.noise_daemon_duration = 5.0_ms;
+  return m;
+}
+
+MachineModel MachineModel::infiniband_cluster(int num_nodes) {
+  SRUMMA_REQUIRE(num_nodes >= 1, "need at least one node");
+  MachineModel m;
+  m.name = "Linux-InfiniBand";
+  m.num_nodes = num_nodes;
+  m.ranks_per_node = 2;  // same dual-Xeon nodes as the Myrinet cluster
+  m.single_shared_domain = false;
+  m.remote_cacheable = true;
+  m.remote_direct_rate_factor = 1.0;
+  m.dgemm = {4.8_GFLOPs, 0.58, 24.0};
+  m.shm_latency = 0.8_us;
+  m.shm_bw = 1.0_GBs;
+  m.shm_agg_bw_per_node = 1.8_GBs;
+  m.net_latency = 6_us;     // RDMA read
+  m.net_bw = 900.0_MBs;     // IB 4x effective
+  m.zero_copy = true;
+  m.host_copy_bw = 1.0_GBs;
+  m.mpi_latency = 5_us;
+  m.eager_threshold = 16_KiB;
+  m.mpi_copy_bw = 900.0_MBs;
+  m.rendezvous_setup = 2.0;
+  m.barrier_hop_latency = 6_us;
+  m.noise_daemon_interval = 0.5;
+  m.noise_daemon_duration = 2.0_ms;
+  return m;
+}
+
+MachineModel MachineModel::testing(int num_nodes, int ranks_per_node) {
+  SRUMMA_REQUIRE(num_nodes >= 1 && ranks_per_node >= 1,
+                 "testing model needs positive topology");
+  MachineModel m;
+  m.name = "testing";
+  m.num_nodes = num_nodes;
+  m.ranks_per_node = ranks_per_node;
+  m.single_shared_domain = false;
+  m.remote_cacheable = true;
+  m.remote_direct_rate_factor = 1.0;
+  m.dgemm = {1.0_GFLOPs, 0.8, 16.0};
+  m.shm_latency = 1_us;
+  m.shm_bw = 1.0_GBs;
+  m.shm_agg_bw_per_node = 2.0_GBs;
+  m.net_latency = 10_us;
+  m.net_bw = 250.0_MBs;
+  m.zero_copy = true;
+  m.host_copy_bw = 500.0_MBs;
+  m.mpi_latency = 8_us;
+  m.eager_threshold = 16_KiB;
+  m.mpi_copy_bw = 500.0_MBs;
+  m.rendezvous_setup = 2.0;
+  m.barrier_hop_latency = 5_us;
+  return m;
+}
+
+}  // namespace srumma

@@ -1,0 +1,43 @@
+#include "perf/model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace srumma::perf {
+
+CostParams params_from_machine(const MachineModel& m, index_t n_hint) {
+  CostParams p{};
+  p.t_ma = 2.0 / m.dgemm.rate(n_hint, n_hint, n_hint);
+  p.t_w = sizeof(double) / m.net_bw;
+  p.t_s = m.net_latency;
+  return p;
+}
+
+double t_seq(double n, const CostParams& p) { return n * n * n * p.t_ma; }
+
+double t_par_rma(double n, double nproc, const CostParams& p) {
+  return t_par_rma_overlap(n, nproc, p, 1.0);
+}
+
+double t_par_rma_overlap(double n, double nproc, const CostParams& p,
+                         double omega) {
+  SRUMMA_REQUIRE(n > 0 && nproc >= 1, "model: need n > 0 and P >= 1");
+  SRUMMA_REQUIRE(omega >= 0.0 && omega <= 1.0, "model: omega in [0,1]");
+  const double sq = std::sqrt(nproc);
+  return n * n * n * p.t_ma / nproc + omega * 2.0 * (n * n / sq) * p.t_w +
+         2.0 * p.t_s * sq;
+}
+
+double efficiency(double n, double nproc, const CostParams& p) {
+  SRUMMA_REQUIRE(n > 0 && nproc >= 1, "model: need n > 0 and P >= 1");
+  return 1.0 / (1.0 + 2.0 * std::sqrt(nproc) * p.t_w / (n * p.t_ma));
+}
+
+double isoefficiency_n(double nproc, double eta, const CostParams& p) {
+  SRUMMA_REQUIRE(eta > 0.0 && eta < 1.0, "model: eta in (0,1)");
+  // Solve eta = 1 / (1 + 2 sqrt(P) t_w / (N t_ma)) for N.
+  return 2.0 * std::sqrt(nproc) * (p.t_w / p.t_ma) * eta / (1.0 - eta);
+}
+
+}  // namespace srumma::perf

@@ -1,0 +1,55 @@
+#pragma once
+// Analytic efficiency model of SRUMMA (paper Section 2.1).
+//
+// The paper costs an N x N x N multiply on P = sqrt(P) x sqrt(P) processes
+// as (eq. 1):
+//
+//     T_par_rma = N^3/P + 2 (N^2/sqrt(P)) t_w + 2 t_s sqrt(P)
+//
+// in units where one multiply-add costs 1; here everything is in seconds,
+// so the compute term carries t_ma (seconds per multiply-add).  With
+// nonblocking gets a fraction of the communication hides behind
+// computation; omega is the *exposed* fraction (the paper reports omega
+// < 10% on the Linux cluster), giving (eq. 3):
+//
+//     T = N^3 t_ma / P + omega * 2 (N^2/sqrt(P)) t_w + 2 t_s sqrt(P)
+//
+// Parallel efficiency (t_s neglected):  eta = 1 / (1 + 2 sqrt(P) t_w /
+// (N t_ma)), whose isoefficiency function is O(P^1.5) — the same as
+// Cannon's algorithm.
+
+#include "machine/machine.hpp"
+
+namespace srumma::perf {
+
+struct CostParams {
+  double t_ma;  ///< seconds per multiply-add (2 flops)
+  double t_w;   ///< data transfer seconds per matrix element
+  double t_s;   ///< per-transfer latency / startup seconds
+};
+
+/// Derive model parameters from a machine model.  `n_hint` selects the
+/// dgemm efficiency point (per-block rate depends on block size).
+[[nodiscard]] CostParams params_from_machine(const MachineModel& m,
+                                             index_t n_hint);
+
+/// Sequential time: N^3 multiply-adds.
+[[nodiscard]] double t_seq(double n, const CostParams& p);
+
+/// Eq. (1): fully exposed communication.
+[[nodiscard]] double t_par_rma(double n, double nproc, const CostParams& p);
+
+/// Eq. (3): `omega` in [0, 1] is the exposed (non-overlapped) fraction of
+/// the communication term.
+[[nodiscard]] double t_par_rma_overlap(double n, double nproc,
+                                       const CostParams& p, double omega);
+
+/// Parallel efficiency eta = speedup / P (t_s neglected, as in the paper).
+[[nodiscard]] double efficiency(double n, double nproc, const CostParams& p);
+
+/// Isoefficiency: the N required to sustain efficiency `eta` on P
+/// processors.  N grows like sqrt(P), so work N^3 grows like P^1.5.
+[[nodiscard]] double isoefficiency_n(double nproc, double eta,
+                                     const CostParams& p);
+
+}  // namespace srumma::perf

@@ -1,0 +1,225 @@
+#include "rma/rma.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "runtime/abortable_wait.hpp"
+#include "util/error.hpp"
+
+namespace srumma {
+
+RmaRuntime::RmaRuntime(Team& team, RmaConfig cfg)
+    : team_(team),
+      zero_copy_(cfg.zero_copy.value_or(team.machine().zero_copy)),
+      next_alloc_seq_(static_cast<std::size_t>(team.size()), 0),
+      next_free_seq_(static_cast<std::size_t>(team.size()), 0) {}
+
+SymmetricRegion RmaRuntime::malloc_symmetric(Rank& me, std::size_t elems) {
+  const int size = team_.size();
+  const std::uint64_t seq = next_alloc_seq_[static_cast<std::size_t>(me.id())]++;
+  SymmetricRegion region;
+  region.seq = seq;
+  {
+    std::unique_lock<std::mutex> lock(alloc_mu_);
+    AllocRecord& rec = live_allocs_[seq];
+    if (rec.segs.empty()) {
+      rec.segs.resize(static_cast<std::size_t>(size));
+      rec.bases.assign(static_cast<std::size_t>(size), nullptr);
+    }
+    auto& seg = rec.segs[static_cast<std::size_t>(me.id())];
+    seg.assign(elems, 0.0);
+    rec.bases[static_cast<std::size_t>(me.id())] =
+        elems > 0 ? seg.data() : nullptr;
+    if (++rec.arrived == size) {
+      rec.ready = true;
+      alloc_cv_.notify_all();
+    } else {
+      wait_abortable(lock, alloc_cv_, team_, [&] { return rec.ready; });
+    }
+    region.bases = rec.bases;
+  }
+  me.barrier();
+  return region;
+}
+
+void RmaRuntime::free_symmetric(Rank& me, const SymmetricRegion& region) {
+  const int size = team_.size();
+  {
+    std::unique_lock<std::mutex> lock(alloc_mu_);
+    SRUMMA_REQUIRE(live_allocs_.count(region.seq) == 1,
+                   "free_symmetric: region is not live");
+    if (++free_arrivals_[region.seq] == size) {
+      live_allocs_.erase(region.seq);
+      free_arrivals_.erase(region.seq);
+      alloc_cv_.notify_all();
+    } else {
+      wait_abortable(lock, alloc_cv_, team_, [&] {
+        return live_allocs_.count(region.seq) == 0;
+      });
+    }
+  }
+  me.barrier();
+}
+
+RmaHandle RmaRuntime::transfer(Rank& me, int owner, std::size_t bytes,
+                               bool is_get) {
+  const MachineModel& mm = team_.machine();
+  SRUMMA_REQUIRE(owner >= 0 && owner < team_.size(),
+                 "rma transfer: owner rank out of range");
+  me.clock().advance(mm.rma_issue_overhead);
+  const double t0 = me.clock().now();
+
+  RmaHandle h;
+  h.pending = true;
+  if (bytes == 0) {
+    h.completion = t0;
+    return h;
+  }
+
+  const double dbytes = static_cast<double>(bytes);
+  if (mm.same_domain(me.id(), owner)) {
+    // Intra-domain: a block memory copy executed by the *origin CPU* — it
+    // cannot be overlapped with computation, so the cost is charged to the
+    // clock synchronously.  The copy also queues on the domain's aggregate
+    // memory system, so many ranks copying at once see reduced bandwidth.
+    const double dur = dbytes / mm.shm_bw;
+    const double ready = t0 + mm.shm_latency;
+    const double agg = team_.network()
+                           .domain_mem(mm.domain_of(me.id()))
+                           .book(ready, dbytes / mm.domain_agg_bw());
+    me.clock().sync_to(std::max(ready + dur, agg));
+    h.completion = me.clock().now();
+    h.duration = dur;
+    me.trace().bytes_shm += bytes;
+  } else {
+    // Inter-node RMA: the request travels to the target (t_s), then the
+    // payload serializes on the source node's egress NIC and the
+    // destination node's ingress NIC.
+    const double ready = t0 + mm.net_latency;
+    double dur = dbytes / mm.net_bw;
+    if (!zero_copy_) {
+      // Host-assisted protocol: the owner's CPU copies between user and
+      // DMA buffers; that time is stolen from whatever the owner was doing.
+      const double host = dbytes / mm.host_copy_bw;
+      dur += host;
+      team_.rank(owner).clock().add_steal(host);
+    }
+    const int src_node = is_get ? mm.node_of(owner) : mm.node_of(me.id());
+    const int dst_node = is_get ? mm.node_of(me.id()) : mm.node_of(owner);
+    const double c1 = team_.network().nic_out(src_node).book(ready, dur);
+    const double c2 = team_.network().nic_in(dst_node).book(ready, dur);
+    h.completion = std::max(c1, c2);
+    h.duration = dur;
+    me.trace().bytes_remote += bytes;
+  }
+  me.trace().time_comm += h.duration;
+  return h;
+}
+
+void RmaRuntime::copy2d(const double* src, index_t ld_src, index_t rows,
+                        index_t cols, double* dst, index_t ld_dst) {
+  if (src == nullptr || dst == nullptr) return;  // phantom transfer
+  SRUMMA_REQUIRE(ld_src >= rows && ld_dst >= rows,
+                 "copy2d: leading dimensions too small");
+  for (index_t j = 0; j < cols; ++j) {
+    std::memcpy(dst + j * ld_dst, src + j * ld_src,
+                static_cast<std::size_t>(rows) * sizeof(double));
+  }
+}
+
+RmaHandle RmaRuntime::nbget(Rank& me, int owner, const double* src,
+                            double* dst, std::size_t elems) {
+  RmaHandle h = transfer(me, owner, elems * sizeof(double), /*is_get=*/true);
+  if (src != nullptr && dst != nullptr && elems > 0) {
+    std::memcpy(dst, src, elems * sizeof(double));
+  }
+  me.trace().gets += 1;
+  return h;
+}
+
+RmaHandle RmaRuntime::nbget2d(Rank& me, int owner, const double* src,
+                              index_t ld_src, index_t rows, index_t cols,
+                              double* dst, index_t ld_dst) {
+  SRUMMA_REQUIRE(rows >= 0 && cols >= 0, "nbget2d: negative patch extent");
+  const std::size_t bytes =
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) *
+      sizeof(double);
+  const double issued = me.clock().now();
+  RmaHandle h = transfer(me, owner, bytes, /*is_get=*/true);
+  if (Timeline* tl = team_.timeline())
+    tl->record(me.id(), EventKind::Get, issued, h.completion);
+  copy2d(src, ld_src, rows, cols, dst, ld_dst);
+  me.trace().gets += 1;
+  return h;
+}
+
+RmaHandle RmaRuntime::nbput2d(Rank& me, int owner, const double* src,
+                              index_t ld_src, index_t rows, index_t cols,
+                              double* dst, index_t ld_dst) {
+  SRUMMA_REQUIRE(rows >= 0 && cols >= 0, "nbput2d: negative patch extent");
+  const std::size_t bytes =
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) *
+      sizeof(double);
+  const double issued = me.clock().now();
+  RmaHandle h = transfer(me, owner, bytes, /*is_get=*/false);
+  if (Timeline* tl = team_.timeline())
+    tl->record(me.id(), EventKind::Put, issued, h.completion);
+  copy2d(src, ld_src, rows, cols, dst, ld_dst);
+  me.trace().puts += 1;
+  return h;
+}
+
+RmaHandle RmaRuntime::nbacc2d(Rank& me, int owner, double alpha,
+                              const double* src, index_t ld_src, index_t rows,
+                              index_t cols, double* dst, index_t ld_dst) {
+  SRUMMA_REQUIRE(rows >= 0 && cols >= 0, "nbacc2d: negative patch extent");
+  const std::size_t bytes =
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) *
+      sizeof(double);
+  RmaHandle h = transfer(me, owner, bytes, /*is_get=*/false);
+  if (bytes > 0) {
+    // The read-modify-write always runs on the owner's host CPU, even on
+    // zero-copy networks: charge the add to the owner (remote) or to the
+    // origin (same domain — the origin CPU performs it).
+    const MachineModel& mm = team_.machine();
+    const double add_time =
+        static_cast<double>(bytes) / mm.host_copy_bw;
+    if (mm.same_domain(me.id(), owner)) {
+      me.clock().advance(add_time);
+    } else {
+      team_.rank(owner).clock().add_steal(add_time);
+      h.completion += add_time;
+    }
+  }
+  if (src != nullptr && dst != nullptr && rows > 0 && cols > 0) {
+    SRUMMA_REQUIRE(ld_src >= rows && ld_dst >= rows,
+                   "nbacc2d: leading dimensions too small");
+    std::lock_guard<std::mutex> lock(acc_mu_);
+    for (index_t j = 0; j < cols; ++j)
+      for (index_t i = 0; i < rows; ++i)
+        dst[i + j * ld_dst] += alpha * src[i + j * ld_src];
+  }
+  me.trace().puts += 1;
+  return h;
+}
+
+void RmaRuntime::wait(Rank& me, RmaHandle& h) {
+  SRUMMA_REQUIRE(h.pending, "wait: handle is not pending");
+  const double before = me.clock().now();
+  if (h.completion > before) {
+    me.trace().time_wait += h.completion - before;
+    me.clock().sync_to(h.completion);
+    if (Timeline* tl = team_.timeline())
+      tl->record(me.id(), EventKind::Wait, before, h.completion);
+  }
+  h.pending = false;
+}
+
+void RmaRuntime::get2d(Rank& me, int owner, const double* src, index_t ld_src,
+                       index_t rows, index_t cols, double* dst,
+                       index_t ld_dst) {
+  RmaHandle h = nbget2d(me, owner, src, ld_src, rows, cols, dst, ld_dst);
+  wait(me, h);
+}
+
+}  // namespace srumma

@@ -1,0 +1,145 @@
+#pragma once
+// One-sided communication runtime (the ARMCI stand-in).
+//
+// This layer reproduces the ARMCI facilities SRUMMA depends on:
+//   * ARMCI_Malloc        -> malloc_symmetric(): collective allocation that
+//                            returns every rank's base pointer, so peers in
+//                            the same shared-memory domain can load/store
+//                            each other's segments directly;
+//   * cluster query       -> same_domain(): which ranks share memory;
+//   * nonblocking get/put -> nbget/nbget2d/nbput2d + wait(), one-sided with
+//                            no target-side coordination.
+//
+// Ranks share one OS address space, so the data movement is a memcpy; the
+// *cost* of each operation is charged to virtual clocks according to the
+// machine model:
+//   * intra-domain ops pay shm latency + copy time, and additionally queue
+//     on the domain's aggregate memory-system resource;
+//   * inter-node ops pay the request latency (t_s), then queue the wire
+//     time (bytes * t_w) on the source node's egress NIC and the target
+//     node's ingress NIC;
+//   * on machines without zero-copy NICs (IBM SP / LAPI) the transfer also
+//     pays a host-CPU copy, and that time is *stolen* from the data owner's
+//     rank — reproducing the paper's observation that non-zero-copy
+//     protocols tax the remote CPU (Section 4.1, Fig. 9).
+//
+// Passing nullptr for a data pointer runs the op in "phantom" mode: full
+// cost accounting, no actual copy.  The model-only benches use this to run
+// N=16000-class problems instantly.
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "runtime/team.hpp"
+#include "util/aligned.hpp"
+#include "util/matrix.hpp"
+
+namespace srumma {
+
+/// Tuning knobs for protocol experiments (Fig. 9).
+struct RmaConfig {
+  /// Override the machine's zero-copy capability (disable to measure the
+  /// host-CPU-copy penalty on a zero-copy-capable network).
+  std::optional<bool> zero_copy;
+};
+
+/// Completion record for a nonblocking one-sided operation.
+struct RmaHandle {
+  double completion = 0.0;  ///< virtual time the transfer finishes
+  double duration = 0.0;    ///< modeled wire/copy time
+  bool pending = false;
+};
+
+/// Result of a collective symmetric allocation: every rank's base pointer.
+/// Ranks in the same shared-memory domain may dereference each other's
+/// segment directly (the load/store path); other segments must be reached
+/// through get/put.
+struct SymmetricRegion {
+  std::uint64_t seq = 0;
+  std::vector<double*> bases;
+
+  [[nodiscard]] double* base(int rank) const {
+    SRUMMA_REQUIRE(rank >= 0 && rank < static_cast<int>(bases.size()),
+                   "SymmetricRegion::base: rank out of range");
+    return bases[static_cast<std::size_t>(rank)];
+  }
+};
+
+class RmaRuntime {
+ public:
+  explicit RmaRuntime(Team& team, RmaConfig cfg = {});
+  RmaRuntime(const RmaRuntime&) = delete;
+  RmaRuntime& operator=(const RmaRuntime&) = delete;
+
+  [[nodiscard]] Team& team() noexcept { return team_; }
+  [[nodiscard]] bool zero_copy() const noexcept { return zero_copy_; }
+  [[nodiscard]] bool same_domain(int r1, int r2) const {
+    return team_.machine().same_domain(r1, r2);
+  }
+
+  /// Collective allocation (ARMCI_Malloc): every rank calls with its own
+  /// element count and receives the base pointers of all ranks' segments.
+  /// elems == 0 produces a phantom segment (nullptr).  Acts as a barrier.
+  SymmetricRegion malloc_symmetric(Rank& me, std::size_t elems);
+
+  /// Collective deallocation of a region returned by malloc_symmetric.
+  /// Acts as a barrier.
+  void free_symmetric(Rank& me, const SymmetricRegion& region);
+
+  /// Nonblocking contiguous get of `elems` doubles owned by rank `owner`.
+  RmaHandle nbget(Rank& me, int owner, const double* src, double* dst,
+                  std::size_t elems);
+
+  /// Nonblocking strided get of a rows x cols column-major patch.
+  RmaHandle nbget2d(Rank& me, int owner, const double* src, index_t ld_src,
+                    index_t rows, index_t cols, double* dst, index_t ld_dst);
+
+  /// Nonblocking strided put (origin -> owner).
+  RmaHandle nbput2d(Rank& me, int owner, const double* src, index_t ld_src,
+                    index_t rows, index_t cols, double* dst, index_t ld_dst);
+
+  /// Nonblocking strided accumulate: dst += alpha * src at the owner
+  /// (ARMCI_Acc).  Element updates are atomic with respect to concurrent
+  /// accumulates into the same region; cost-wise an accumulate is a put
+  /// whose target-side add always runs on a host CPU (never zero-copy).
+  RmaHandle nbacc2d(Rank& me, int owner, double alpha, const double* src,
+                    index_t ld_src, index_t rows, index_t cols, double* dst,
+                    index_t ld_dst);
+
+  /// Block until a nonblocking op completes; charges the wait to the clock.
+  void wait(Rank& me, RmaHandle& h);
+
+  /// Blocking variants (issue + immediate wait; zero overlap).
+  void get2d(Rank& me, int owner, const double* src, index_t ld_src,
+             index_t rows, index_t cols, double* dst, index_t ld_dst);
+
+ private:
+  struct AllocRecord {
+    std::vector<AlignedVector<double>> segs;
+    std::vector<double*> bases;
+    int arrived = 0;
+    bool ready = false;
+  };
+
+  RmaHandle transfer(Rank& me, int owner, std::size_t bytes, bool is_get);
+  void copy2d(const double* src, index_t ld_src, index_t rows, index_t cols,
+              double* dst, index_t ld_dst);
+
+  Team& team_;
+  bool zero_copy_;
+  std::mutex acc_mu_;  // serializes concurrent accumulate updates
+
+  std::mutex alloc_mu_;
+  std::condition_variable alloc_cv_;
+  std::map<std::uint64_t, AllocRecord> live_allocs_;  // keyed by sequence id
+  std::vector<std::uint64_t> next_alloc_seq_;         // per rank
+  std::map<std::uint64_t, int> free_arrivals_;        // seq -> arrived count
+  std::vector<std::uint64_t> next_free_seq_;          // per rank
+};
+
+}  // namespace srumma

@@ -1,0 +1,26 @@
+#pragma once
+// Condition-variable wait that cannot outlive a failing team.
+//
+// When any rank throws, Team::abort() flips a flag; every blocking wait in
+// the communication layers polls that flag so a failure on one rank
+// propagates instead of deadlocking the remaining ranks.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "runtime/team.hpp"
+#include "util/error.hpp"
+
+namespace srumma {
+
+template <typename Pred>
+void wait_abortable(std::unique_lock<std::mutex>& lock,
+                    std::condition_variable& cv, Team& team, Pred pred) {
+  while (!pred()) {
+    if (team.aborted()) throw Error("team aborted while waiting");
+    cv.wait_for(lock, std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace srumma

@@ -1,0 +1,191 @@
+#include "runtime/team.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace srumma {
+
+int Rank::node() const noexcept { return team_->machine().node_of(id_); }
+int Rank::domain() const noexcept { return team_->machine().domain_of(id_); }
+const MachineModel& Rank::machine() const noexcept { return team_->machine(); }
+
+void Rank::barrier() { team_->barrier_wait(*this); }
+
+void Rank::charge_gemm(index_t m, index_t n, index_t k, double rate_factor) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  SRUMMA_REQUIRE(rate_factor > 0.0, "rate_factor must be positive");
+  const double dt = machine().dgemm.time(m, n, k) / rate_factor;
+  const double before = clock_.now();
+  clock_.advance(dt);
+  if (Timeline* tl = team_->timeline())
+    tl->record(id_, EventKind::Compute, before, before + dt);
+  trace_.time_compute += dt;
+  trace_.gemm_calls += 1;
+  trace_.flops += gemm_flops(static_cast<double>(m), static_cast<double>(n),
+                             static_cast<double>(k));
+  consume_cpu(dt);
+}
+
+void Rank::charge_seconds(double dt) {
+  SRUMMA_REQUIRE(dt >= 0.0, "cannot charge negative time");
+  clock_.advance(dt);
+  consume_cpu(dt);
+}
+
+void Rank::consume_cpu(double dt) {
+  const MachineModel& mm = machine();
+  if (mm.noise_daemon_interval <= 0.0 || mm.noise_daemon_duration <= 0.0)
+    return;
+  // Deterministic per-rank jitter: the gap to the next preemption is drawn
+  // from [0.5, 1.5] x interval using a hash of (rank, sequence), so runs
+  // are exactly reproducible and ranks are decorrelated — which is what
+  // makes bulk-synchronous codes pay the max over ranks at every step.
+  auto next_gap = [this, &mm] {
+    std::uint64_t x = static_cast<std::uint64_t>(id_) * 0x9e3779b97f4a7c15ULL +
+                      ++noise_seq_ * 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 30;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 27;
+    const double u = static_cast<double>(x >> 11) * 0x1.0p-53;  // [0,1)
+    return mm.noise_daemon_interval * (0.5 + u);
+  };
+  if (next_preempt_ < 0.0) next_preempt_ = next_gap();
+  cpu_used_ += dt;
+  while (cpu_used_ >= next_preempt_) {
+    const double before = clock_.now();
+    clock_.advance(mm.noise_daemon_duration);
+    if (Timeline* tl = team_->timeline())
+      tl->record(id_, EventKind::Noise, before, clock_.now());
+    trace_.time_noise += mm.noise_daemon_duration;
+    next_preempt_ += next_gap();
+  }
+}
+
+void Rank::reset_noise() {
+  cpu_used_ = 0.0;
+  next_preempt_ = -1.0;
+  noise_seq_ = 0;
+}
+
+Team::Team(MachineModel machine)
+    : machine_(std::move(machine)),
+      size_(machine_.total_ranks()),
+      net_(machine_),
+      trace_board_(static_cast<std::size_t>(size_)),
+      value_board_(static_cast<std::size_t>(size_), 0.0) {
+  ranks_.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    ranks_.push_back(std::make_unique<Rank>(this, r));
+  }
+}
+
+Rank& Team::rank(int id) {
+  SRUMMA_REQUIRE(id >= 0 && id < size_, "rank id out of range");
+  return *ranks_[static_cast<std::size_t>(id)];
+}
+
+void Team::run(const std::function<void(Rank&)>& body) {
+  SRUMMA_REQUIRE(!aborted(), "team was aborted; call reset() before reuse");
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &body, &err_mu, &first_error] {
+      try {
+        body(*ranks_[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort();  // wake ranks parked in barriers so join() cannot hang
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void Team::reset() {
+  for (auto& r : ranks_) {
+    r->clock().reset();
+    r->trace() = TraceCounters{};
+    r->reset_noise();
+  }
+  net_.reset();
+  if (timeline_) timeline_->clear();
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    barrier_arrived_ = 0;
+    barrier_max_ = 0.0;
+    barrier_release_ = 0.0;
+  }
+  aborted_.store(false, std::memory_order_release);
+}
+
+double Team::max_clock() {
+  double m = 0.0;
+  for (auto& r : ranks_) m = std::max(m, r->clock().now());
+  return m;
+}
+
+TraceCounters& Team::trace_board(int rank) {
+  SRUMMA_REQUIRE(rank >= 0 && rank < size_, "trace_board: rank out of range");
+  return trace_board_[static_cast<std::size_t>(rank)];
+}
+
+void Team::enable_timeline() {
+  if (!timeline_) timeline_ = std::make_unique<Timeline>(size_);
+}
+
+double& Team::value_board(int rank) {
+  SRUMMA_REQUIRE(rank >= 0 && rank < size_, "value_board: rank out of range");
+  return value_board_[static_cast<std::size_t>(rank)];
+}
+
+TraceCounters Team::total_trace() {
+  TraceCounters t;
+  for (auto& r : ranks_) t += r->trace();
+  return t;
+}
+
+void Team::abort() noexcept {
+  aborted_.store(true, std::memory_order_release);
+  barrier_cv_.notify_all();
+}
+
+void Team::barrier_wait(Rank& me) {
+  const double barrier_cost =
+      machine_.barrier_hop_latency *
+      (size_ > 1 ? std::ceil(std::log2(static_cast<double>(size_))) : 0.0);
+
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  if (aborted()) throw Error("team aborted while entering barrier");
+  barrier_max_ = std::max(barrier_max_, me.clock().now());
+  if (++barrier_arrived_ == size_) {
+    barrier_release_ = barrier_max_ + barrier_cost;
+    barrier_arrived_ = 0;
+    barrier_max_ = 0.0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    const std::uint64_t gen = barrier_generation_;
+    barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen || aborted(); });
+    if (aborted()) throw Error("team aborted while waiting in barrier");
+  }
+  const double before = me.clock().now();
+  me.clock().sync_to(barrier_release_);
+  if (Timeline* tl = timeline_.get()) {
+    if (barrier_release_ > before)
+      tl->record(me.id(), EventKind::Barrier, before, barrier_release_);
+  }
+}
+
+}  // namespace srumma

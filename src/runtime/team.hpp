@@ -1,0 +1,142 @@
+#pragma once
+// Rank/Team execution substrate.
+//
+// A Team turns one simulated machine into a set of concurrently executing
+// ranks.  Each rank is an OS thread sharing the process address space —
+// the stand-in for a cluster process — with its own virtual clock and trace
+// counters.  Algorithms are written as a callable taking a Rank&, exactly
+// like an SPMD main(); Team::run launches every rank, joins them, and
+// propagates the first exception (waking any rank parked in a barrier so a
+// failing run cannot deadlock the suite).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "vtime/clock.hpp"
+#include "vtime/network.hpp"
+#include "vtime/timeline.hpp"
+#include "vtime/trace_counters.hpp"
+
+namespace srumma {
+
+class Team;
+
+/// Per-rank execution context handed to the SPMD body.
+class Rank {
+ public:
+  Rank(Team* team, int id) : team_(team), id_(id) {}
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] int node() const noexcept;
+  [[nodiscard]] int domain() const noexcept;
+  [[nodiscard]] Team& team() noexcept { return *team_; }
+  [[nodiscard]] const MachineModel& machine() const noexcept;
+
+  [[nodiscard]] VClock& clock() noexcept { return clock_; }
+  [[nodiscard]] TraceCounters& trace() noexcept { return trace_; }
+
+  /// Synchronize all ranks; every clock advances to the team max plus the
+  /// modeled tree-barrier cost.
+  void barrier();
+
+  /// Charge one m x n x k block product against this rank's clock.
+  /// `rate_factor` scales the dgemm rate (used for direct access to
+  /// non-cacheable or remote NUMA memory).
+  void charge_gemm(index_t m, index_t n, index_t k, double rate_factor = 1.0);
+
+  /// Charge an arbitrary modeled duration (seconds).
+  void charge_seconds(double dt);
+
+  // -- used by Team::reset --------------------------------------------------
+  void reset_noise();
+
+ private:
+  /// Consume CPU time, injecting deterministic daemon-preemption noise per
+  /// the machine model (see MachineModel::noise_daemon_interval).
+  void consume_cpu(double dt);
+
+  Team* team_;
+  int id_;
+  VClock clock_;
+  TraceCounters trace_;
+  // OS-noise state: CPU consumed and the (jittered) next preemption point.
+  double cpu_used_ = 0.0;
+  double next_preempt_ = -1.0;  // lazily initialized
+  std::uint64_t noise_seq_ = 0;
+};
+
+/// A set of ranks executing on one simulated machine.
+class Team {
+ public:
+  /// One rank per CPU described by the machine model.
+  explicit Team(MachineModel machine);
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] const MachineModel& machine() const noexcept { return machine_; }
+  [[nodiscard]] NetworkState& network() noexcept { return net_; }
+  [[nodiscard]] Rank& rank(int id);
+
+  /// Run an SPMD body on every rank; blocks until all complete.  The first
+  /// exception thrown by any rank is rethrown here after all threads join.
+  void run(const std::function<void(Rank&)>& body);
+
+  /// Reset clocks, traces and network resources between experiments.
+  void reset();
+
+  /// Max virtual clock across ranks (the parallel makespan after a run that
+  /// ends in a barrier).
+  [[nodiscard]] double max_clock();
+
+  /// Sum of all ranks' trace counters.
+  [[nodiscard]] TraceCounters total_trace();
+
+  /// Per-rank scratch slots used by collective algorithms to publish their
+  /// local statistics; a slot is written by its owning rank before a
+  /// barrier and read by everyone after it.
+  [[nodiscard]] TraceCounters& trace_board(int rank);
+
+  /// Per-rank double slot with the same write-before-barrier / read-after
+  /// discipline; used for collective reductions over shared memory.
+  [[nodiscard]] double& value_board(int rank);
+
+  /// Start recording per-rank event spans (see vtime/timeline.hpp); off by
+  /// default.  Safe to call between runs; reset() clears recorded events
+  /// but keeps recording enabled.
+  void enable_timeline();
+  /// nullptr when recording is disabled.
+  [[nodiscard]] Timeline* timeline() noexcept { return timeline_.get(); }
+
+  // -- used by Rank::barrier and the comm layers ----------------------------
+  void barrier_wait(Rank& me);
+  [[nodiscard]] bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_acquire);
+  }
+  void abort() noexcept;
+
+ private:
+  MachineModel machine_;
+  int size_;
+  NetworkState net_;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  std::vector<TraceCounters> trace_board_;
+  std::vector<double> value_board_;
+  std::unique_ptr<Timeline> timeline_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  double barrier_max_ = 0.0;
+  double barrier_release_ = 0.0;
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace srumma

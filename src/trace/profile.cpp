@@ -1,0 +1,75 @@
+#include "trace/profile.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace srumma {
+
+void print_profile(std::ostream& os, Team& team, int max_rows) {
+  const double makespan = team.max_clock();
+  const MachineModel& mm = team.machine();
+
+  // -- per-rank breakdown ----------------------------------------------------
+  std::vector<int> order(static_cast<std::size_t>(team.size()));
+  for (int r = 0; r < team.size(); ++r) order[static_cast<std::size_t>(r)] = r;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return team.rank(a).clock().now() > team.rank(b).clock().now();
+  });
+  if (static_cast<int>(order.size()) > max_rows) {
+    // Keep the slowest rows plus the single fastest (the straggler view).
+    const int fastest = order.back();
+    order.resize(static_cast<std::size_t>(max_rows - 1));
+    order.push_back(fastest);
+  }
+
+  TableWriter ranks({"rank", "node", "clock ms", "compute %", "comm ms",
+                     "wait %", "noise ms", "steal ms"});
+  for (int r : order) {
+    Rank& rk = team.rank(r);
+    const TraceCounters& t = rk.trace();
+    const double now = rk.clock().now();
+    const double denom = now > 0 ? now : 1.0;
+    ranks.add_row({TableWriter::num(static_cast<long long>(r)),
+                   TableWriter::num(static_cast<long long>(rk.node())),
+                   TableWriter::num(now * 1e3, 2),
+                   TableWriter::num(100.0 * t.time_compute / denom, 1),
+                   TableWriter::num(t.time_comm * 1e3, 2),
+                   TableWriter::num(100.0 * t.time_wait / denom, 1),
+                   TableWriter::num(t.time_noise * 1e3, 2),
+                   TableWriter::num(rk.clock().steal_total() * 1e3, 2)});
+  }
+  ranks.print(os, "rank profile (slowest first; makespan " +
+                      TableWriter::num(makespan * 1e3, 2) + " ms)");
+
+  // -- resource utilization ----------------------------------------------------
+  TableWriter res({"resource", "busy ms", "utilization %"});
+  const double denom = makespan > 0 ? makespan : 1.0;
+  for (int n = 0; n < mm.num_nodes; ++n) {
+    const double out = team.network().nic_out(n).busy_total();
+    const double in = team.network().nic_in(n).busy_total();
+    if (out == 0.0 && in == 0.0) continue;
+    res.add_row({"node " + std::to_string(n) + " NIC out",
+                 TableWriter::num(out * 1e3, 2),
+                 TableWriter::num(100.0 * out / denom, 1)});
+    res.add_row({"node " + std::to_string(n) + " NIC in",
+                 TableWriter::num(in * 1e3, 2),
+                 TableWriter::num(100.0 * in / denom, 1)});
+    if (res.row_count() >= 2 * static_cast<std::size_t>(max_rows)) break;
+  }
+  for (int d = 0; d < mm.num_domains(); ++d) {
+    const double mem = team.network().domain_mem(d).busy_total();
+    if (mem == 0.0) continue;
+    res.add_row({"domain " + std::to_string(d) + " memory",
+                 TableWriter::num(mem * 1e3, 2),
+                 TableWriter::num(100.0 * mem / denom, 1)});
+  }
+  if (res.row_count() > 0) {
+    os << "\n";
+    res.print(os, "resource utilization");
+  }
+}
+
+}  // namespace srumma

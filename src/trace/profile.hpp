@@ -1,0 +1,20 @@
+#pragma once
+// Post-run execution profile: where each rank's virtual time went and how
+// busy the contended resources were.  The production-debugging counterpart
+// of MultiplyResult's aggregate view — this is what you look at when a
+// platform model behaves unexpectedly.
+
+#include <iosfwd>
+
+#include "runtime/team.hpp"
+
+namespace srumma {
+
+/// Per-rank time breakdown table (compute / comm issued / wait / noise /
+/// steal / idle) plus per-node NIC and per-domain memory utilization,
+/// relative to the team's makespan.  Call after Team::run completes (never
+/// concurrently with one).  `max_rows` caps the per-rank section (the
+/// extrema rows are always included).
+void print_profile(std::ostream& os, Team& team, int max_rows = 16);
+
+}  // namespace srumma

@@ -1,0 +1,62 @@
+#include "trace/report.hpp"
+
+#include <sstream>
+
+namespace srumma {
+
+TraceCounters trace_delta(const TraceCounters& end, const TraceCounters& start) {
+  TraceCounters d;
+  d.time_compute = end.time_compute - start.time_compute;
+  d.gemm_calls = end.gemm_calls - start.gemm_calls;
+  d.flops = end.flops - start.flops;
+  d.time_comm = end.time_comm - start.time_comm;
+  d.time_wait = end.time_wait - start.time_wait;
+  d.time_noise = end.time_noise - start.time_noise;
+  d.bytes_shm = end.bytes_shm - start.bytes_shm;
+  d.bytes_remote = end.bytes_remote - start.bytes_remote;
+  d.bytes_msg = end.bytes_msg - start.bytes_msg;
+  d.gets = end.gets - start.gets;
+  d.puts = end.puts - start.puts;
+  d.sends = end.sends - start.sends;
+  d.recvs = end.recvs - start.recvs;
+  d.direct_tasks = end.direct_tasks - start.direct_tasks;
+  d.copy_tasks = end.copy_tasks - start.copy_tasks;
+  // High-water marks are not differenced; the delta carries the end value.
+  d.buffer_bytes_peak = end.buffer_bytes_peak;
+  return d;
+}
+
+MultiplyResult collect_result(Rank& me, double start_vt,
+                              const TraceCounters& my_start, double flops) {
+  Team& team = me.team();
+  // Exit barrier: equalizes clocks so elapsed is the true makespan.
+  me.barrier();
+  team.trace_board(me.id()) = trace_delta(me.trace(), my_start);
+  me.barrier();
+
+  MultiplyResult r;
+  r.elapsed = me.clock().now() - start_vt;
+  for (int rank = 0; rank < team.size(); ++rank) {
+    r.trace += team.trace_board(rank);
+  }
+  r.gflops = r.elapsed > 0.0 ? flops / r.elapsed / 1e9 : 0.0;
+  r.overlap = r.trace.overlap();
+  // One more barrier so no rank races ahead and overwrites its board slot
+  // in a subsequent collective while slower ranks are still summing.
+  me.barrier();
+  return r;
+}
+
+std::string describe(const MultiplyResult& r) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << r.gflops << " GFLOP/s in " << r.elapsed * 1e3 << " ms, overlap "
+     << r.overlap * 100.0 << "%, traffic shm "
+     << static_cast<double>(r.trace.bytes_shm) / 1e6 << " MB / remote "
+     << static_cast<double>(r.trace.bytes_remote) / 1e6 << " MB / msg "
+     << static_cast<double>(r.trace.bytes_msg) / 1e6 << " MB";
+  return os.str();
+}
+
+}  // namespace srumma

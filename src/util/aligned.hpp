@@ -1,0 +1,53 @@
+#pragma once
+// Cache-line / SIMD aligned storage used for matrix data.
+//
+// Matrix blocks are allocated with 64-byte alignment so the packed dgemm
+// micro-kernels can assume aligned loads and blocks never straddle a cache
+// line at element 0.
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace srumma {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal aligned allocator (std::allocator-compatible).
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // The non-type Alignment parameter defeats allocator_traits' default
+  // rebind deduction, so spell it out.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    const std::size_t bytes = ((n * sizeof(T) + Alignment - 1) / Alignment) * Alignment;
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
+
+/// Vector with cache-line aligned storage.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace srumma

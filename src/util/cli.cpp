@@ -1,0 +1,86 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace srumma {
+
+void CliParser::add_flag(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  SRUMMA_REQUIRE(!flags_.count(name), "duplicate flag: " + name);
+  flags_[name] = Flag{default_value, default_value, help};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help(argv[0]).c_str(), stdout);
+      return false;
+    }
+    SRUMMA_REQUIRE(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    auto it = flags_.find(arg);
+    SRUMMA_REQUIRE(it != flags_.end(), "unknown flag: --" + arg);
+    if (eq == std::string::npos) {
+      if (it->second.default_value == "false" || it->second.default_value == "true") {
+        value = "true";  // boolean switch form: --flag
+      } else {
+        SRUMMA_REQUIRE(i + 1 < argc, "missing value for --" + arg);
+        value = argv[++i];
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  SRUMMA_REQUIRE(it != flags_.end(), "unregistered flag: " + name);
+  return it->second.value;
+}
+
+long long CliParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  const long long r = std::stoll(v, &pos);
+  SRUMMA_REQUIRE(pos == v.size(), "flag --" + name + " is not an integer: " + v);
+  return r;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  const double r = std::stod(v, &pos);
+  SRUMMA_REQUIRE(pos == v.size(), "flag --" + name + " is not a number: " + v);
+  return r;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  throw Error("flag --" + name + " is not a boolean: " + v);
+}
+
+std::string CliParser::help(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")\n"
+       << "      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace srumma

@@ -1,0 +1,38 @@
+#pragma once
+// Error handling for the srumma library.
+//
+// All precondition violations throw srumma::Error (derived from
+// std::runtime_error) so callers can distinguish library failures from
+// generic runtime errors.  The SRUMMA_REQUIRE macro is used on public API
+// boundaries; SRUMMA_ASSERT guards internal invariants and compiles to the
+// same check (this library favours always-on checking over NDEBUG stripping
+// because the checks are off the critical inner loops).
+
+#include <stdexcept>
+#include <string>
+
+namespace srumma {
+
+/// Exception thrown on any library precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const char* expr,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace srumma
+
+/// Check a public-API precondition; throws srumma::Error when violated.
+#define SRUMMA_REQUIRE(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::srumma::detail::throw_error(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                 \
+  } while (false)
+
+/// Check an internal invariant; throws srumma::Error when violated.
+#define SRUMMA_ASSERT(cond, msg) SRUMMA_REQUIRE(cond, msg)

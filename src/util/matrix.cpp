@@ -1,0 +1,42 @@
+#include "util/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace srumma {
+
+void copy(ConstMatrixView src, MatrixView dst) {
+  SRUMMA_REQUIRE(src.rows() == dst.rows() && src.cols() == dst.cols(),
+                 "copy: dimension mismatch");
+  const index_t m = src.rows();
+  for (index_t j = 0; j < src.cols(); ++j) {
+    std::memcpy(&dst(0, j), &src(0, j), static_cast<std::size_t>(m) * sizeof(double));
+  }
+}
+
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b) {
+  SRUMMA_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "max_abs_diff: dimension mismatch");
+  double d = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i)
+      d = std::max(d, std::abs(a(i, j) - b(i, j)));
+  return d;
+}
+
+double frobenius_norm(ConstMatrixView a) {
+  double s = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) s += a(i, j) * a(i, j);
+  return std::sqrt(s);
+}
+
+void transpose(ConstMatrixView src, MatrixView dst) {
+  SRUMMA_REQUIRE(src.rows() == dst.cols() && src.cols() == dst.rows(),
+                 "transpose: dimension mismatch");
+  for (index_t j = 0; j < src.cols(); ++j)
+    for (index_t i = 0; i < src.rows(); ++i) dst(j, i) = src(i, j);
+}
+
+}  // namespace srumma

@@ -1,0 +1,64 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace srumma {
+
+namespace {
+constexpr std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& w : s_) w = splitmix64(x);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  // Modulo bias is irrelevant for test-data purposes.
+  return next() % n;
+}
+
+void fill_random(MatrixView m, std::uint64_t seed) {
+  Rng rng(seed);
+  for (index_t j = 0; j < m.cols(); ++j)
+    for (index_t i = 0; i < m.rows(); ++i) m(i, j) = rng.uniform(-1.0, 1.0);
+}
+
+void fill_coords(MatrixView m, index_t row0, index_t col0) {
+  for (index_t j = 0; j < m.cols(); ++j)
+    for (index_t i = 0; i < m.rows(); ++i)
+      m(i, j) = std::sin(0.37 * static_cast<double>(i + row0) +
+                         1.13 * static_cast<double>(j + col0));
+}
+
+}  // namespace srumma

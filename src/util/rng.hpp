@@ -1,0 +1,44 @@
+#pragma once
+// Deterministic pseudo-random generation for tests, examples and benches.
+//
+// A hand-rolled xoshiro256** keeps matrix fills reproducible across
+// platforms and standard-library versions (std::mt19937 streams are
+// specified, but distribution output is not).
+
+#include <array>
+#include <cstdint>
+
+#include "util/matrix.hpp"
+
+namespace srumma {
+
+/// xoshiro256** PRNG (public-domain algorithm by Blackman & Vigna).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Fill a matrix view with uniform values in [-1, 1).
+void fill_random(MatrixView m, std::uint64_t seed);
+
+/// Fill a matrix view with a deterministic function of global coordinates,
+/// so distributed and serial fills of the same logical matrix agree:
+/// value(i, j) = sin(0.37*(i+row0) + 1.13*(j+col0)).
+void fill_coords(MatrixView m, index_t row0, index_t col0);
+
+}  // namespace srumma

@@ -1,0 +1,46 @@
+#pragma once
+// Unit helpers shared across the machine model, schedulers and benches.
+//
+// All virtual time is kept in seconds (double); all sizes in bytes; all
+// rates in bytes/second or flop/second.  These helpers exist so literals in
+// platform definitions read like the paper's own numbers (GB/s, us, GFLOP/s).
+
+namespace srumma {
+
+inline constexpr double operator""_us(long double v) {
+  return static_cast<double>(v) * 1e-6;
+}
+inline constexpr double operator""_us(unsigned long long v) {
+  return static_cast<double>(v) * 1e-6;
+}
+inline constexpr double operator""_ms(long double v) {
+  return static_cast<double>(v) * 1e-3;
+}
+inline constexpr double operator""_GBs(long double v) {
+  return static_cast<double>(v) * 1e9;
+}
+inline constexpr double operator""_GBs(unsigned long long v) {
+  return static_cast<double>(v) * 1e9;
+}
+inline constexpr double operator""_MBs(long double v) {
+  return static_cast<double>(v) * 1e6;
+}
+inline constexpr double operator""_GFLOPs(long double v) {
+  return static_cast<double>(v) * 1e9;
+}
+inline constexpr double operator""_GFLOPs(unsigned long long v) {
+  return static_cast<double>(v) * 1e9;
+}
+inline constexpr double operator""_KiB(unsigned long long v) {
+  return static_cast<double>(v) * 1024.0;
+}
+inline constexpr double operator""_MiB(unsigned long long v) {
+  return static_cast<double>(v) * 1024.0 * 1024.0;
+}
+
+/// flops of a real dgemm update C += op(A)*op(B): 2*m*n*k.
+inline constexpr double gemm_flops(double m, double n, double k) {
+  return 2.0 * m * n * k;
+}
+
+}  // namespace srumma

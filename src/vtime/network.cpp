@@ -1,0 +1,43 @@
+#include "vtime/network.hpp"
+
+#include "util/error.hpp"
+
+namespace srumma {
+
+NetworkState::NetworkState(const MachineModel& machine) {
+  nic_out_.reserve(machine.num_nodes);
+  nic_in_.reserve(machine.num_nodes);
+  for (int n = 0; n < machine.num_nodes; ++n) {
+    nic_out_.push_back(std::make_unique<Resource>());
+    nic_in_.push_back(std::make_unique<Resource>());
+  }
+  for (int d = 0; d < machine.num_domains(); ++d) {
+    domain_mem_.push_back(std::make_unique<Resource>());
+  }
+}
+
+Resource& NetworkState::nic_out(int node) {
+  SRUMMA_REQUIRE(node >= 0 && node < static_cast<int>(nic_out_.size()),
+                 "nic_out: node out of range");
+  return *nic_out_[node];
+}
+
+Resource& NetworkState::nic_in(int node) {
+  SRUMMA_REQUIRE(node >= 0 && node < static_cast<int>(nic_in_.size()),
+                 "nic_in: node out of range");
+  return *nic_in_[node];
+}
+
+Resource& NetworkState::domain_mem(int domain) {
+  SRUMMA_REQUIRE(domain >= 0 && domain < static_cast<int>(domain_mem_.size()),
+                 "domain_mem: domain out of range");
+  return *domain_mem_[domain];
+}
+
+void NetworkState::reset() {
+  for (auto& r : nic_out_) r->reset();
+  for (auto& r : nic_in_) r->reset();
+  for (auto& r : domain_mem_) r->reset();
+}
+
+}  // namespace srumma

@@ -1,0 +1,97 @@
+#include "vtime/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace srumma {
+
+Timeline::Timeline(int nranks) {
+  SRUMMA_REQUIRE(nranks >= 1, "timeline: need at least one rank");
+  per_rank_.resize(static_cast<std::size_t>(nranks));
+}
+
+void Timeline::record(int rank, EventKind kind, double t0, double t1) {
+  SRUMMA_REQUIRE(rank >= 0 && rank < ranks(), "timeline: rank out of range");
+  if (t1 <= t0) return;  // zero-length spans carry no information
+  per_rank_[static_cast<std::size_t>(rank)].push_back({kind, t0, t1});
+}
+
+const std::vector<TimelineEvent>& Timeline::events(int rank) const {
+  SRUMMA_REQUIRE(rank >= 0 && rank < ranks(), "timeline: rank out of range");
+  return per_rank_[static_cast<std::size_t>(rank)];
+}
+
+void Timeline::clear() {
+  for (auto& v : per_rank_) v.clear();
+}
+
+void Timeline::print_gantt(std::ostream& os, double t0, double t1, int width,
+                           int max_ranks) const {
+  SRUMMA_REQUIRE(width >= 10, "timeline: width too small");
+  if (t1 <= t0) {
+    t0 = 0.0;
+    t1 = 0.0;
+    for (const auto& v : per_rank_)
+      for (const auto& e : v) t1 = std::max(t1, e.t1);
+    if (t1 <= 0.0) {
+      os << "(timeline empty)\n";
+      return;
+    }
+  }
+  const double dt = (t1 - t0) / width;
+  os << "timeline [" << t0 * 1e3 << " ms .. " << t1 * 1e3 << " ms], "
+     << dt * 1e3 << " ms/cell  (C compute, G get, P put, W wait, N noise, "
+        "B barrier, . idle)\n";
+  const int shown = std::min(max_ranks, ranks());
+  for (int r = 0; r < shown; ++r) {
+    // Dominant kind per bucket by covered duration.
+    std::vector<std::map<char, double>> buckets(
+        static_cast<std::size_t>(width));
+    for (const auto& e : per_rank_[static_cast<std::size_t>(r)]) {
+      const double lo = std::max(e.t0, t0);
+      const double hi = std::min(e.t1, t1);
+      if (hi <= lo) continue;
+      int b0 = static_cast<int>((lo - t0) / dt);
+      int b1 = static_cast<int>((hi - t0) / dt);
+      b0 = std::clamp(b0, 0, width - 1);
+      b1 = std::clamp(b1, 0, width - 1);
+      for (int b = b0; b <= b1; ++b) {
+        const double cell_lo = t0 + b * dt;
+        const double cover = std::min(hi, cell_lo + dt) - std::max(lo, cell_lo);
+        if (cover > 0)
+          buckets[static_cast<std::size_t>(b)][static_cast<char>(e.kind)] +=
+              cover;
+      }
+    }
+    os << (r < 10 ? " " : "") << r << " |";
+    for (const auto& bucket : buckets) {
+      char best = '.';
+      double best_cover = 0.0;
+      for (const auto& [kind, cover] : bucket) {
+        if (cover > best_cover) {
+          best = kind;
+          best_cover = cover;
+        }
+      }
+      os << best;
+    }
+    os << "|\n";
+  }
+  if (shown < ranks())
+    os << "(" << ranks() - shown << " more ranks not shown)\n";
+}
+
+void Timeline::write_csv(std::ostream& os) const {
+  os << "rank,kind,start,end\n";
+  for (int r = 0; r < ranks(); ++r) {
+    for (const auto& e : per_rank_[static_cast<std::size_t>(r)]) {
+      os << r << "," << static_cast<char>(e.kind) << "," << e.t0 << ","
+         << e.t1 << "\n";
+    }
+  }
+}
+
+}  // namespace srumma

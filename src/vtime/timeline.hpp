@@ -1,0 +1,61 @@
+#pragma once
+// Opt-in per-rank event timeline.
+//
+// When enabled on a Team, the runtime records (kind, start, end) spans of
+// virtual time for computation, one-sided transfers, waits and noise.
+// Rendered as an ASCII Gantt chart this shows the pipeline at work — where
+// SRUMMA hides its gets, where the first (unhidden) task sits, and where a
+// message-passing baseline convoys.  Disabled by default; recording is a
+// rank-private append, so enabling it does not perturb virtual time.
+
+#include <iosfwd>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace srumma {
+
+enum class EventKind : char {
+  Compute = 'C',  ///< dgemm execution
+  Get = 'G',      ///< one-sided get span (issue -> modeled completion)
+  Put = 'P',      ///< one-sided put/accumulate span
+  Wait = 'W',     ///< clock blocked on a completion or message
+  Noise = 'N',    ///< daemon preemption
+  Barrier = 'B',  ///< time spent in a barrier beyond own arrival
+};
+
+struct TimelineEvent {
+  EventKind kind;
+  double t0;
+  double t1;
+};
+
+class Timeline {
+ public:
+  explicit Timeline(int nranks);
+
+  /// Append one span for `rank` (rank-private storage: callers only ever
+  /// record their own rank, so no locking is needed).
+  void record(int rank, EventKind kind, double t0, double t1);
+
+  [[nodiscard]] const std::vector<TimelineEvent>& events(int rank) const;
+  [[nodiscard]] int ranks() const noexcept {
+    return static_cast<int>(per_rank_.size());
+  }
+
+  void clear();
+
+  /// ASCII Gantt: one row per rank (up to max_ranks), `width` virtual-time
+  /// buckets across [t0, t1]; each cell shows the kind that dominates the
+  /// bucket, '.' for idle.  Pass t1 <= t0 to span all recorded events.
+  void print_gantt(std::ostream& os, double t0 = 0.0, double t1 = 0.0,
+                   int width = 100, int max_ranks = 16) const;
+
+  /// Machine-readable dump: rank,kind,start,end per line.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::vector<TimelineEvent>> per_rank_;
+};
+
+}  // namespace srumma

@@ -1,0 +1,71 @@
+#pragma once
+// Per-rank instrumentation counters.
+//
+// Every rank accumulates these as it executes; the trace module aggregates
+// them into the per-experiment reports (achieved overlap, bytes moved by
+// protocol, host-CPU steal).  All fields are in seconds or bytes.
+
+#include <algorithm>
+#include <cstdint>
+
+namespace srumma {
+
+struct TraceCounters {
+  // -- computation ----------------------------------------------------------
+  double time_compute = 0.0;  ///< modeled dgemm time
+  std::uint64_t gemm_calls = 0;
+  double flops = 0.0;
+
+  // -- communication --------------------------------------------------------
+  double time_comm = 0.0;  ///< modeled transfer durations issued by this rank
+  double time_wait = 0.0;  ///< clock actually lost blocking on completions
+  double time_noise = 0.0; ///< OS daemon-preemption time injected
+  std::uint64_t bytes_shm = 0;     ///< intra-domain copy traffic
+  std::uint64_t bytes_remote = 0;  ///< inter-node RMA traffic
+  std::uint64_t bytes_msg = 0;     ///< two-sided (MPI-model) traffic sent
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t direct_tasks = 0;  ///< block products fed views in place
+  std::uint64_t copy_tasks = 0;    ///< block products fed copied buffers
+  /// Algorithm-internal buffer memory on one rank for the most recent
+  /// collective operation (communication panels, circulation temps,
+  /// redistribution temporaries — not the matrices themselves).  Each
+  /// top-level algorithm overwrites it per run; aggregated across ranks by
+  /// MAX, so a team-level result reports the worst rank's footprint.
+  std::uint64_t buffer_bytes_peak = 0;
+
+  /// Fraction of issued communication hidden behind computation:
+  /// 1 - time_wait/time_comm, clamped to [0, 1].  The paper reports >90%
+  /// overlap for SRUMMA on the Linux cluster.
+  [[nodiscard]] double overlap() const {
+    if (time_comm <= 0.0) return 1.0;
+    const double w = 1.0 - time_wait / time_comm;
+    if (w < 0.0) return 0.0;
+    if (w > 1.0) return 1.0;
+    return w;
+  }
+
+  TraceCounters& operator+=(const TraceCounters& o) {
+    time_compute += o.time_compute;
+    gemm_calls += o.gemm_calls;
+    flops += o.flops;
+    time_comm += o.time_comm;
+    time_wait += o.time_wait;
+    time_noise += o.time_noise;
+    bytes_shm += o.bytes_shm;
+    bytes_remote += o.bytes_remote;
+    bytes_msg += o.bytes_msg;
+    gets += o.gets;
+    puts += o.puts;
+    sends += o.sends;
+    recvs += o.recvs;
+    direct_tasks += o.direct_tasks;
+    copy_tasks += o.copy_tasks;
+    buffer_bytes_peak = std::max(buffer_bytes_peak, o.buffer_bytes_peak);
+    return *this;
+  }
+};
+
+}  // namespace srumma

@@ -1,0 +1,40 @@
+#pragma once
+// Shared fixtures and reference implementations for the test suite.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "blas/gemm.hpp"
+#include "dist/dist_matrix.hpp"
+#include "machine/machine.hpp"
+#include "rma/rma.hpp"
+#include "runtime/team.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace srumma::testing {
+
+/// Dense reference: C := alpha*op(A)*op(B) + beta*C via the naive kernel.
+inline void reference_gemm(blas::Trans ta, blas::Trans tb, double alpha,
+                           const Matrix& a, const Matrix& b, double beta,
+                           Matrix& c) {
+  const index_t m = ta == blas::Trans::No ? a.rows() : a.cols();
+  const index_t k = ta == blas::Trans::No ? a.cols() : a.rows();
+  blas::gemm_naive(ta, tb, m, c.cols(), k, alpha, a.data(), a.ld(), b.data(),
+                   b.ld(), beta, c.data(), c.ld());
+}
+
+/// Build the global matrix the distributed fill_coords_local produces.
+inline Matrix coords_matrix(index_t m, index_t n) {
+  Matrix x(m, n);
+  fill_coords(x.view(), 0, 0);
+  return x;
+}
+
+/// Tolerance scaled to the accumulation depth.
+inline double gemm_tolerance(index_t k) {
+  return 1e-12 * static_cast<double>(std::max<index_t>(k, 1)) * 16.0;
+}
+
+}  // namespace srumma::testing

@@ -1,0 +1,289 @@
+// Tests for the message-passing baselines: Cannon's algorithm, SUMMA, the
+// transposed redistribution, and the pdgemm model.
+
+#include <gtest/gtest.h>
+
+#include "baselines/cannon.hpp"
+#include "baselines/summa.hpp"
+#include "tests/helpers.hpp"
+
+namespace srumma {
+namespace {
+
+using blas::Trans;
+
+// Prepare Cannon's padded local blocks from global matrices.
+void cannon_scatter(Rank& me, int p, const Matrix& global, index_t bi,
+                    index_t bj, MatrixView block) {
+  block.fill(0.0);
+  const int pi = me.id() % p;
+  const int pj = me.id() / p;
+  const index_t r0 = pi * bi;
+  const index_t c0 = pj * bj;
+  const index_t rows = std::min(bi, global.rows() - std::min(global.rows(), r0));
+  const index_t cols = std::min(bj, global.cols() - std::min(global.cols(), c0));
+  if (rows > 0 && cols > 0)
+    copy(global.block(r0, c0, rows, cols), block.block(0, 0, rows, cols));
+}
+
+void run_cannon_case(index_t m, index_t n, index_t k, int p) {
+  Team team(MachineModel::testing(p * p, 1));
+  Comm comm(team);
+  Matrix a_g = testing::coords_matrix(m, k);
+  Matrix b_g(k, n);
+  fill_random(b_g.view(), 3);
+  Matrix c_ref(m, n);
+  testing::reference_gemm(Trans::No, Trans::No, 1.0, a_g, b_g, 0.0, c_ref);
+
+  const index_t bm = cannon_block(m, p);
+  const index_t bn = cannon_block(n, p);
+  const index_t bk = cannon_block(k, p);
+  Matrix c_out(m, n);
+  team.run([&](Rank& me) {
+    Matrix a_blk(bm, bk), b_blk(bk, bn), c_blk(bm, bn);
+    cannon_scatter(me, p, a_g, bm, bk, a_blk.view());
+    cannon_scatter(me, p, b_g, bk, bn, b_blk.view());
+    CannonOptions opt;
+    opt.m = m;
+    opt.n = n;
+    opt.k = k;
+    MultiplyResult r =
+        cannon_multiply(me, comm, a_blk.view(), b_blk.view(), c_blk.view(), opt);
+    EXPECT_GT(r.elapsed, 0.0);
+    // Gather my C block into the shared output.
+    const int pi = me.id() % p;
+    const int pj = me.id() / p;
+    const index_t r0 = pi * bm;
+    const index_t c0 = pj * bn;
+    me.barrier();
+    const index_t rows = std::min(bm, m - std::min(m, r0));
+    const index_t cols = std::min(bn, n - std::min(n, c0));
+    if (rows > 0 && cols > 0)
+      copy(ConstMatrixView(c_blk.block(0, 0, rows, cols)),
+           c_out.view().block(r0, c0, rows, cols));
+    me.barrier();
+  });
+  EXPECT_LE(max_abs_diff(c_out.view(), c_ref.view()), testing::gemm_tolerance(k))
+      << "m=" << m << " n=" << n << " k=" << k << " p=" << p;
+}
+
+TEST(Cannon, TwoByTwoDivisible) { run_cannon_case(16, 16, 16, 2); }
+TEST(Cannon, TwoByTwoNonDivisible) { run_cannon_case(17, 13, 19, 2); }
+TEST(Cannon, ThreeByThree) { run_cannon_case(21, 21, 21, 3); }
+TEST(Cannon, ThreeByThreeRectangular) { run_cannon_case(10, 25, 14, 3); }
+TEST(Cannon, SingleRank) { run_cannon_case(9, 9, 9, 1); }
+
+TEST(Cannon, NonSquareTeamThrows) {
+  Team team(MachineModel::testing(3, 1));
+  Comm comm(team);
+  EXPECT_THROW(team.run([&](Rank& me) {
+    CannonOptions opt;
+    opt.m = opt.n = opt.k = 6;
+    opt.phantom = true;
+    cannon_multiply(me, comm, MatrixView{}, MatrixView{}, MatrixView{}, opt);
+  }),
+               Error);
+}
+
+TEST(Cannon, PhantomRunProducesTimes) {
+  Team team(MachineModel::testing(4, 1));
+  Comm comm(team);
+  team.run([&](Rank& me) {
+    CannonOptions opt;
+    opt.m = opt.n = opt.k = 1024;
+    opt.phantom = true;
+    MultiplyResult r =
+        cannon_multiply(me, comm, MatrixView{}, MatrixView{}, MatrixView{}, opt);
+    EXPECT_GT(r.elapsed, 0.0);
+    EXPECT_GT(r.trace.bytes_msg, 0u);
+    EXPECT_GT(r.gflops, 0.0);
+  });
+}
+
+void run_summa_case(index_t m, index_t n, index_t k, ProcGrid grid,
+                    MachineModel machine, index_t panel) {
+  Team team(std::move(machine));
+  RmaRuntime rma(team);
+  Comm comm(team);
+  Matrix a_g = testing::coords_matrix(m, k);
+  Matrix b_g(k, n);
+  fill_random(b_g.view(), 4);
+  Matrix c_ref(m, n);
+  testing::reference_gemm(Trans::No, Trans::No, 1.0, a_g, b_g, 0.0, c_ref);
+  Matrix c_out(m, n);
+  team.run([&](Rank& me) {
+    DistMatrix a(rma, me, m, k, grid);
+    DistMatrix b(rma, me, k, n, grid);
+    DistMatrix c(rma, me, m, n, grid);
+    a.scatter_from(me, a_g.view());
+    b.scatter_from(me, b_g.view());
+    SummaOptions opt;
+    opt.panel = panel;
+    MultiplyResult r = summa_multiply(me, comm, a, b, c, opt);
+    EXPECT_GT(r.elapsed, 0.0);
+    c.gather_to(me, c_out.view());
+  });
+  EXPECT_LE(max_abs_diff(c_out.view(), c_ref.view()),
+            testing::gemm_tolerance(k));
+}
+
+TEST(Summa, SquareGrid) {
+  run_summa_case(20, 20, 20, ProcGrid{2, 2}, MachineModel::testing(2, 2), 8);
+}
+TEST(Summa, NonSquareGridOddDims) {
+  run_summa_case(17, 23, 31, ProcGrid{3, 2}, MachineModel::testing(3, 2), 5);
+}
+TEST(Summa, OwnerAlignedPanels) {
+  run_summa_case(16, 16, 16, ProcGrid{2, 2}, MachineModel::testing(2, 2), 0);
+}
+TEST(Summa, SingleRank) {
+  run_summa_case(9, 9, 9, ProcGrid{1, 1}, MachineModel::testing(1, 1), 4);
+}
+TEST(Summa, WideRectangular) {
+  run_summa_case(8, 40, 12, ProcGrid{2, 2}, MachineModel::testing(2, 2), 7);
+}
+
+TEST(Summa, PhantomTimesScaleWithPanel) {
+  // Narrower panels = more broadcasts = more latency on a cluster.
+  Team team(MachineModel::testing(4, 1));
+  RmaRuntime rma(team);
+  Comm comm(team);
+  double t_narrow = 0.0, t_wide = 0.0;
+  team.run([&](Rank& me) {
+    DistMatrix a(rma, me, 512, 512, ProcGrid{2, 2}, true);
+    DistMatrix b(rma, me, 512, 512, ProcGrid{2, 2}, true);
+    DistMatrix c(rma, me, 512, 512, ProcGrid{2, 2}, true);
+    SummaOptions opt;
+    opt.panel = 16;
+    MultiplyResult narrow = summa_multiply(me, comm, a, b, c, opt);
+    opt.panel = 256;
+    MultiplyResult wide = summa_multiply(me, comm, a, b, c, opt);
+    if (me.id() == 0) {
+      t_narrow = narrow.elapsed;
+      t_wide = wide.elapsed;
+    }
+  });
+  EXPECT_GT(t_narrow, t_wide);
+}
+
+TEST(TransposeRedistribute, RoundTripExact) {
+  Team team(MachineModel::testing(3, 2));
+  RmaRuntime rma(team);
+  Comm comm(team);
+  Matrix src_g = testing::coords_matrix(14, 9);
+  Matrix expect(9, 14);
+  transpose(src_g.view(), expect.view());
+  Matrix out(9, 14);
+  team.run([&](Rank& me) {
+    DistMatrix src(rma, me, 14, 9, ProcGrid{3, 2});
+    DistMatrix dst(rma, me, 9, 14, ProcGrid{3, 2});
+    src.scatter_from(me, src_g.view());
+    transpose_redistribute(me, comm, src, dst);
+    dst.gather_to(me, out.view());
+  });
+  EXPECT_EQ(max_abs_diff(out.view(), expect.view()), 0.0);
+}
+
+TEST(TransposeRedistribute, SquareInPlaceShape) {
+  Team team(MachineModel::testing(2, 2));
+  RmaRuntime rma(team);
+  Comm comm(team);
+  Matrix src_g = testing::coords_matrix(12, 12);
+  Matrix expect(12, 12);
+  transpose(src_g.view(), expect.view());
+  Matrix out(12, 12);
+  team.run([&](Rank& me) {
+    DistMatrix src(rma, me, 12, 12, ProcGrid{2, 2});
+    DistMatrix dst(rma, me, 12, 12, ProcGrid{2, 2});
+    src.scatter_from(me, src_g.view());
+    transpose_redistribute(me, comm, src, dst);
+    dst.gather_to(me, out.view());
+  });
+  EXPECT_EQ(max_abs_diff(out.view(), expect.view()), 0.0);
+}
+
+TEST(TransposeRedistribute, DimensionMismatchThrows) {
+  Team team(MachineModel::testing(2, 1));
+  RmaRuntime rma(team);
+  Comm comm(team);
+  EXPECT_THROW(team.run([&](Rank& me) {
+    DistMatrix src(rma, me, 6, 4, ProcGrid{2, 1});
+    DistMatrix dst(rma, me, 6, 4, ProcGrid{2, 1});
+    transpose_redistribute(me, comm, src, dst);
+  }),
+               Error);
+}
+
+struct PdgemmCase {
+  Trans ta, tb;
+  index_t m, n, k;
+};
+
+class PdgemmSweep : public ::testing::TestWithParam<PdgemmCase> {};
+
+TEST_P(PdgemmSweep, MatchesReference) {
+  const PdgemmCase pc = GetParam();
+  Team team(MachineModel::testing(2, 2));
+  RmaRuntime rma(team);
+  Comm comm(team);
+  const index_t a_rows = pc.ta == Trans::No ? pc.m : pc.k;
+  const index_t a_cols = pc.ta == Trans::No ? pc.k : pc.m;
+  const index_t b_rows = pc.tb == Trans::No ? pc.k : pc.n;
+  const index_t b_cols = pc.tb == Trans::No ? pc.n : pc.k;
+  Matrix a_g = testing::coords_matrix(a_rows, a_cols);
+  Matrix b_g(b_rows, b_cols);
+  fill_random(b_g.view(), 6);
+  Matrix c_ref(pc.m, pc.n);
+  testing::reference_gemm(pc.ta, pc.tb, 1.0, a_g, b_g, 0.0, c_ref);
+  Matrix c_out(pc.m, pc.n);
+  team.run([&](Rank& me) {
+    DistMatrix a(rma, me, a_rows, a_cols, ProcGrid{2, 2});
+    DistMatrix b(rma, me, b_rows, b_cols, ProcGrid{2, 2});
+    DistMatrix c(rma, me, pc.m, pc.n, ProcGrid{2, 2});
+    a.scatter_from(me, a_g.view());
+    b.scatter_from(me, b_g.view());
+    PdgemmOptions opt;
+    opt.ta = pc.ta;
+    opt.tb = pc.tb;
+    opt.panel = 6;
+    MultiplyResult r = pdgemm_model(me, comm, a, b, c, opt);
+    EXPECT_GT(r.gflops, 0.0);
+    c.gather_to(me, c_out.view());
+  });
+  EXPECT_LE(max_abs_diff(c_out.view(), c_ref.view()),
+            testing::gemm_tolerance(pc.k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PdgemmSweep,
+    ::testing::Values(PdgemmCase{Trans::No, Trans::No, 18, 14, 22},
+                      PdgemmCase{Trans::Yes, Trans::No, 18, 14, 22},
+                      PdgemmCase{Trans::No, Trans::Yes, 18, 14, 22},
+                      PdgemmCase{Trans::Yes, Trans::Yes, 18, 14, 22},
+                      PdgemmCase{Trans::Yes, Trans::Yes, 7, 29, 11}));
+
+TEST(Pdgemm, TransposeCostsShowUp) {
+  // pdgemm's transposed path pays a full redistribution; the virtual time
+  // must exceed the non-transposed run (the paper's Table 1 effect).
+  Team team(MachineModel::testing(4, 2));
+  RmaRuntime rma(team);
+  Comm comm(team);
+  double t_nn = 0.0, t_tt = 0.0;
+  team.run([&](Rank& me) {
+    DistMatrix a(rma, me, 256, 256, ProcGrid{4, 2}, true);
+    DistMatrix b(rma, me, 256, 256, ProcGrid{4, 2}, true);
+    DistMatrix c(rma, me, 256, 256, ProcGrid{4, 2}, true);
+    PdgemmOptions opt;
+    MultiplyResult nn = pdgemm_model(me, comm, a, b, c, opt);
+    opt.ta = opt.tb = Trans::Yes;
+    MultiplyResult tt = pdgemm_model(me, comm, a, b, c, opt);
+    if (me.id() == 0) {
+      t_nn = nn.elapsed;
+      t_tt = tt.elapsed;
+    }
+  });
+  EXPECT_GT(t_tt, t_nn);
+}
+
+}  // namespace
+}  // namespace srumma

@@ -1,0 +1,163 @@
+// Tests for the serial BLAS substrate: the blocked kernel must match the
+// naive oracle over a broad parameter sweep (shapes, transposes, alpha/beta,
+// padded leading dimensions) since every parallel algorithm leans on it.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "blas/gemm.hpp"
+#include "tests/helpers.hpp"
+#include "util/rng.hpp"
+
+namespace srumma {
+namespace {
+
+using blas::Trans;
+
+struct GemmCase {
+  index_t m, n, k;
+  Trans ta, tb;
+  double alpha, beta;
+};
+
+class GemmSweep : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmSweep, BlockedMatchesNaive) {
+  const GemmCase c = GetParam();
+  const index_t a_rows = c.ta == Trans::No ? c.m : c.k;
+  const index_t a_cols = c.ta == Trans::No ? c.k : c.m;
+  const index_t b_rows = c.tb == Trans::No ? c.k : c.n;
+  const index_t b_cols = c.tb == Trans::No ? c.n : c.k;
+
+  Matrix a(a_rows, a_cols), b(b_rows, b_cols);
+  Matrix c_ref(c.m, c.n), c_out(c.m, c.n);
+  fill_random(a.view(), 11);
+  fill_random(b.view(), 22);
+  fill_random(c_ref.view(), 33);
+  copy(c_ref.view(), c_out.view());
+
+  blas::gemm_naive(c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), a.ld(),
+                   b.data(), b.ld(), c.beta, c_ref.data(), c_ref.ld());
+  blas::gemm_blocked(c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), a.ld(),
+                     b.data(), b.ld(), c.beta, c_out.data(), c_out.ld());
+  EXPECT_LE(max_abs_diff(c_ref.view(), c_out.view()),
+            testing::gemm_tolerance(c.k))
+      << "m=" << c.m << " n=" << c.n << " k=" << c.k;
+}
+
+std::vector<GemmCase> gemm_cases() {
+  std::vector<GemmCase> cases;
+  const Trans ts[] = {Trans::No, Trans::Yes};
+  // Shapes spanning: tiny, non-divisible by the micro-kernel (8x4), larger
+  // than one cache block (kMc=128, kKc=256), and degenerate edges.
+  const std::tuple<index_t, index_t, index_t> shapes[] = {
+      {1, 1, 1},   {2, 3, 4},    {7, 5, 9},    {8, 4, 16},  {13, 17, 11},
+      {32, 32, 32}, {33, 31, 29}, {64, 1, 64}, {1, 64, 64}, {130, 70, 260},
+      {150, 150, 1}, {5, 5, 300}};
+  for (auto [m, n, k] : shapes)
+    for (Trans ta : ts)
+      for (Trans tb : ts)
+        cases.push_back({m, n, k, ta, tb, 1.0, 0.0});
+  // alpha/beta coverage on one awkward shape.
+  for (double alpha : {0.0, -1.5, 2.0})
+    for (double beta : {0.0, 1.0, 0.5})
+      cases.push_back({19, 23, 37, Trans::Yes, Trans::No, alpha, beta});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GemmSweep, ::testing::ValuesIn(gemm_cases()));
+
+TEST(Gemm, ZeroSizeIsNoop) {
+  Matrix c(0, 0);
+  blas::gemm(Trans::No, Trans::No, 0, 0, 0, 1.0, nullptr, 1, nullptr, 1, 0.0,
+             c.data(), 1);
+}
+
+TEST(Gemm, KZeroOnlyAppliesBeta) {
+  Matrix c(3, 3);
+  c.fill(2.0);
+  blas::gemm(Trans::No, Trans::No, 3, 3, 0, 1.0, nullptr, 1, nullptr, 1, 0.5,
+             c.data(), c.ld());
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(c(i, j), 1.0);
+}
+
+TEST(Gemm, BetaZeroOverwritesNaNs) {
+  // beta == 0 must ignore prior contents entirely (BLAS semantics).
+  Matrix a(2, 2), b(2, 2), c(2, 2);
+  a(0, 0) = a(1, 1) = 1.0;
+  b(0, 0) = b(1, 1) = 1.0;
+  c.fill(std::numeric_limits<double>::quiet_NaN());
+  blas::gemm(Trans::No, Trans::No, 2, 2, 2, 1.0, a.data(), 2, b.data(), 2, 0.0,
+             c.data(), 2);
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 0.0);
+}
+
+TEST(Gemm, StridedViewsWork) {
+  // Operate on interior blocks of larger arrays (ld > rows).
+  Matrix a(10, 10), b(10, 10), c(10, 10), c_ref(10, 10);
+  fill_random(a.view(), 1);
+  fill_random(b.view(), 2);
+  blas::gemm_naive(Trans::No, Trans::No, 4, 4, 4, 1.0, &a(3, 3), a.ld(),
+                   &b(2, 1), b.ld(), 0.0, &c_ref(1, 2), c_ref.ld());
+  blas::gemm_blocked(Trans::No, Trans::No, 4, 4, 4, 1.0, &a(3, 3), a.ld(),
+                     &b(2, 1), b.ld(), 0.0, &c(1, 2), c.ld());
+  EXPECT_LE(max_abs_diff(c.block(1, 2, 4, 4), c_ref.block(1, 2, 4, 4)),
+            testing::gemm_tolerance(4));
+}
+
+TEST(Gemm, ViewWrapperChecksConformance) {
+  Matrix a(3, 4), b(5, 6), c(3, 6);
+  EXPECT_THROW(
+      blas::gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, c.view()),
+      Error);
+  Matrix b2(4, 6);
+  Matrix c_bad(4, 6);
+  EXPECT_THROW(blas::gemm(Trans::No, Trans::No, 1.0, a.view(), b2.view(), 0.0,
+                          c_bad.view()),
+               Error);
+}
+
+TEST(Gemm, ViewWrapperTransposedDims) {
+  // op(A) = A^T with A stored 4x3 gives a 3x4 operand.
+  Matrix a(4, 3), b(4, 5), c(3, 5), c_ref(3, 5);
+  fill_random(a.view(), 3);
+  fill_random(b.view(), 4);
+  blas::gemm(Trans::Yes, Trans::No, 1.0, a.view(), b.view(), 0.0, c.view());
+  blas::gemm_naive(Trans::Yes, Trans::No, 3, 5, 4, 1.0, a.data(), a.ld(),
+                   b.data(), b.ld(), 0.0, c_ref.data(), c_ref.ld());
+  EXPECT_LE(max_abs_diff(c.view(), c_ref.view()), testing::gemm_tolerance(4));
+}
+
+TEST(Gemm, OpDimHelpers) {
+  Matrix a(3, 7);
+  EXPECT_EQ(blas::op_rows(Trans::No, a.view()), 3);
+  EXPECT_EQ(blas::op_cols(Trans::No, a.view()), 7);
+  EXPECT_EQ(blas::op_rows(Trans::Yes, a.view()), 7);
+  EXPECT_EQ(blas::op_cols(Trans::Yes, a.view()), 3);
+}
+
+TEST(Gemm, NegativeDimThrows) {
+  Matrix c(2, 2);
+  EXPECT_THROW(blas::gemm(Trans::No, Trans::No, -1, 2, 2, 1.0, nullptr, 1,
+                          nullptr, 1, 0.0, c.data(), 2),
+               Error);
+}
+
+TEST(Gemm, LargeAccumulationAccuracy) {
+  // Summing k=2000 terms of +-1-ish values stays well-conditioned.
+  const index_t k = 2000;
+  Matrix a(4, k), b(k, 4), c(4, 4), c_ref(4, 4);
+  fill_random(a.view(), 5);
+  fill_random(b.view(), 6);
+  blas::gemm_naive(Trans::No, Trans::No, 4, 4, k, 1.0, a.data(), a.ld(),
+                   b.data(), b.ld(), 0.0, c_ref.data(), c_ref.ld());
+  blas::gemm_blocked(Trans::No, Trans::No, 4, 4, k, 1.0, a.data(), a.ld(),
+                     b.data(), b.ld(), 0.0, c.data(), c.ld());
+  EXPECT_LE(max_abs_diff(c.view(), c_ref.view()), testing::gemm_tolerance(k));
+}
+
+}  // namespace
+}  // namespace srumma

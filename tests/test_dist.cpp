@@ -1,0 +1,257 @@
+// Tests for the distribution layer: grids, 1-D block distribution
+// (property-swept), and the DistMatrix generalized get / direct view.
+
+#include <gtest/gtest.h>
+
+#include "dist/dist_matrix.hpp"
+#include "dist/grid.hpp"
+#include "tests/helpers.hpp"
+#include "util/rng.hpp"
+
+namespace srumma {
+namespace {
+
+TEST(ProcGrid, ColumnMajorRanks) {
+  ProcGrid g{4, 2};
+  EXPECT_EQ(g.size(), 8);
+  EXPECT_EQ(g.rank_of(0, 0), 0);
+  EXPECT_EQ(g.rank_of(3, 0), 3);
+  EXPECT_EQ(g.rank_of(0, 1), 4);
+  const auto [i, j] = g.coords_of(5);
+  EXPECT_EQ(i, 1);
+  EXPECT_EQ(j, 1);
+  EXPECT_THROW((void)g.rank_of(4, 0), Error);
+  EXPECT_THROW((void)g.coords_of(8), Error);
+}
+
+TEST(ProcGrid, NearSquareFactorizations) {
+  EXPECT_EQ(ProcGrid::near_square(1).p, 1);
+  EXPECT_EQ(ProcGrid::near_square(4).p, 2);
+  EXPECT_EQ(ProcGrid::near_square(4).q, 2);
+  EXPECT_EQ(ProcGrid::near_square(12).p, 4);
+  EXPECT_EQ(ProcGrid::near_square(12).q, 3);
+  EXPECT_EQ(ProcGrid::near_square(128).p, 16);
+  EXPECT_EQ(ProcGrid::near_square(128).q, 8);
+  EXPECT_EQ(ProcGrid::near_square(7).p, 7);  // prime: 7x1
+}
+
+// Property sweep: the 1-D block distribution partitions [0, n) exactly.
+class BlockDistSweep
+    : public ::testing::TestWithParam<std::pair<index_t, int>> {};
+
+TEST_P(BlockDistSweep, PartitionInvariants) {
+  const auto [n, parts] = GetParam();
+  BlockDist1D d(n, parts);
+  index_t covered = 0;
+  for (int p = 0; p < parts; ++p) {
+    EXPECT_EQ(d.start(p), covered);
+    EXPECT_GE(d.count(p), 0);
+    // Balanced: sizes differ by at most one.
+    EXPECT_LE(d.count(p), n / parts + 1);
+    covered += d.count(p);
+  }
+  EXPECT_EQ(covered, n);
+  // owner() agrees with the ranges.
+  for (index_t i = 0; i < n; ++i) {
+    const int o = d.owner(i);
+    EXPECT_GE(i, d.start(o));
+    EXPECT_LT(i, d.start(o) + d.count(o));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockDistSweep,
+    ::testing::Values(std::pair<index_t, int>{0, 3},
+                      std::pair<index_t, int>{1, 1},
+                      std::pair<index_t, int>{5, 8},   // more parts than items
+                      std::pair<index_t, int>{7, 3},
+                      std::pair<index_t, int>{100, 7},
+                      std::pair<index_t, int>{128, 16},
+                      std::pair<index_t, int>{1000, 13},
+                      std::pair<index_t, int>{999, 1}));
+
+struct DistEnv {
+  Team team;
+  RmaRuntime rma;
+  explicit DistEnv(MachineModel m) : team(std::move(m)), rma(team) {}
+};
+
+TEST(DistMatrix, LocalBlocksTileTheMatrix) {
+  DistEnv env(MachineModel::testing(2, 2));
+  env.team.run([&](Rank& me) {
+    DistMatrix x(env.rma, me, 10, 7, ProcGrid{2, 2});
+    index_t total = 0;
+    for (int r = 0; r < 4; ++r) total += x.block_rows(r) * x.block_cols(r);
+    EXPECT_EQ(total, 70);
+    EXPECT_EQ(x.local_view(me).rows(), x.block_rows(me.id()));
+  });
+}
+
+TEST(DistMatrix, OwnerMatchesBlockRanges) {
+  DistEnv env(MachineModel::testing(3, 2));
+  env.team.run([&](Rank& me) {
+    DistMatrix x(env.rma, me, 17, 11, ProcGrid{3, 2});
+    for (index_t i = 0; i < 17; i += 3)
+      for (index_t j = 0; j < 11; j += 2) {
+        const int o = x.owner(i, j);
+        EXPECT_GE(i, x.block_row_start(o));
+        EXPECT_LT(i, x.block_row_start(o) + x.block_rows(o));
+        EXPECT_GE(j, x.block_col_start(o));
+        EXPECT_LT(j, x.block_col_start(o) + x.block_cols(o));
+      }
+  });
+}
+
+TEST(DistMatrix, ScatterGatherRoundTrip) {
+  DistEnv env(MachineModel::testing(2, 2));
+  Matrix global = testing::coords_matrix(9, 13);
+  Matrix out(9, 13);
+  env.team.run([&](Rank& me) {
+    DistMatrix x(env.rma, me, 9, 13, ProcGrid{2, 2});
+    x.scatter_from(me, global.view());
+    x.gather_to(me, out.view());
+  });
+  EXPECT_EQ(max_abs_diff(global.view(), out.view()), 0.0);
+}
+
+TEST(DistMatrix, FillCoordsMatchesSerialFill) {
+  DistEnv env(MachineModel::testing(2, 3));
+  Matrix out(12, 8);
+  env.team.run([&](Rank& me) {
+    DistMatrix x(env.rma, me, 12, 8, ProcGrid{3, 2});
+    x.fill_coords_local(me);
+    x.gather_to(me, out.view());
+  });
+  EXPECT_EQ(max_abs_diff(out.view(), testing::coords_matrix(12, 8).view()), 0.0);
+}
+
+TEST(DistMatrix, FetchArbitraryRectangles) {
+  // Generalized get across owner boundaries must reproduce the global data
+  // exactly, for a randomized set of rectangles.
+  DistEnv env(MachineModel::testing(3, 2));
+  Matrix global = testing::coords_matrix(23, 19);
+  env.team.run([&](Rank& me) {
+    DistMatrix x(env.rma, me, 23, 19, ProcGrid{2, 3});
+    x.fill_coords_local(me);
+    me.barrier();
+    Rng rng(1000 + me.id());
+    for (int trial = 0; trial < 25; ++trial) {
+      const index_t i0 = static_cast<index_t>(rng.below(23));
+      const index_t j0 = static_cast<index_t>(rng.below(19));
+      const index_t mi = 1 + static_cast<index_t>(rng.below(23 - i0));
+      const index_t nj = 1 + static_cast<index_t>(rng.below(19 - j0));
+      Matrix dst(mi, nj);
+      PatchHandle h = x.fetch_nb(me, i0, j0, mi, nj, dst.view());
+      x.wait(me, h);
+      EXPECT_EQ(max_abs_diff(dst.view(), global.block(i0, j0, mi, nj)), 0.0)
+          << "rect " << i0 << "," << j0 << " " << mi << "x" << nj;
+    }
+  });
+}
+
+TEST(DistMatrix, FetchWholeMatrixTouchesAllOwners) {
+  DistEnv env(MachineModel::testing(2, 2));
+  env.team.run([&](Rank& me) {
+    DistMatrix x(env.rma, me, 8, 8, ProcGrid{2, 2});
+    x.fill_coords_local(me);
+    me.barrier();
+    Matrix dst(8, 8);
+    const auto gets_before = me.trace().gets;
+    PatchHandle h = x.fetch_nb(me, 0, 0, 8, 8, dst.view());
+    x.wait(me, h);
+    EXPECT_EQ(me.trace().gets - gets_before, 4u);  // one per owner block
+    EXPECT_EQ(max_abs_diff(dst.view(), testing::coords_matrix(8, 8).view()),
+              0.0);
+  });
+}
+
+TEST(DistMatrix, DirectViewOnlyWithinDomain) {
+  // 2 nodes x 2 ranks: grid columns map to nodes, so a rank shares a domain
+  // exactly with its grid-column neighbour.
+  DistEnv env(MachineModel::testing(2, 2));
+  env.team.run([&](Rank& me) {
+    DistMatrix x(env.rma, me, 8, 8, ProcGrid{2, 2});
+    x.fill_coords_local(me);
+    me.barrier();
+    // Block (1,0) is owned by rank 1 (node 0); block (0,1) by rank 2 (node 1).
+    const auto same_col = x.direct_view(me, 4, 0, 4, 4);   // rank 1's block
+    const auto other_col = x.direct_view(me, 0, 4, 4, 4);  // rank 2's block
+    if (me.node() == 0) {
+      ASSERT_TRUE(same_col.has_value());
+      Matrix expect(4, 4);
+      fill_coords(expect.view(), 4, 0);
+      EXPECT_EQ(max_abs_diff(*same_col, expect.view()), 0.0);
+      EXPECT_FALSE(other_col.has_value());
+    } else {
+      EXPECT_FALSE(same_col.has_value());
+      ASSERT_TRUE(other_col.has_value());
+    }
+    // Spanning rectangle never has a direct view.
+    EXPECT_FALSE(x.direct_view(me, 2, 2, 4, 4).has_value());
+  });
+}
+
+TEST(DistMatrix, SingleDomainMachineDirectViewsEverything) {
+  DistEnv env(MachineModel::sgi_altix(4));
+  env.team.run([&](Rank& me) {
+    DistMatrix x(env.rma, me, 8, 8, ProcGrid{2, 2});
+    x.fill_coords_local(me);
+    me.barrier();
+    EXPECT_TRUE(x.direct_view(me, 0, 4, 4, 4).has_value());
+    EXPECT_TRUE(x.single_owner_in_domain(me, 4, 4, 4, 4).has_value());
+    EXPECT_TRUE(x.rect_in_domain(me, 0, 0, 8, 8));
+  });
+}
+
+TEST(DistMatrix, PhantomChargesWithoutStorage) {
+  DistEnv env(MachineModel::testing(2, 1));
+  env.team.run([&](Rank& me) {
+    DistMatrix x(env.rma, me, 1000, 1000, ProcGrid{2, 1}, /*phantom=*/true);
+    EXPECT_TRUE(x.phantom());
+    EXPECT_THROW((void)x.local_view(me), Error);
+    const double t0 = me.clock().now();
+    PatchHandle h = x.fetch_nb(me, 0, 0, 1000, 1000, MatrixView{});
+    x.wait(me, h);
+    EXPECT_GT(me.clock().now(), t0);  // cost charged
+    EXPECT_GT(me.trace().bytes_shm + me.trace().bytes_remote, 0u);
+  });
+}
+
+TEST(DistMatrix, PhantomDirectViewNullButModeledEligible) {
+  DistEnv env(MachineModel::sgi_altix(2));
+  env.team.run([&](Rank& me) {
+    DistMatrix x(env.rma, me, 10, 10, ProcGrid{2, 1}, /*phantom=*/true);
+    EXPECT_FALSE(x.direct_view(me, 0, 0, 5, 10).has_value());
+    EXPECT_TRUE(x.single_owner_in_domain(me, 0, 0, 5, 10).has_value());
+  });
+}
+
+TEST(DistMatrix, DestroyReleasesCollectively) {
+  DistEnv env(MachineModel::testing(2, 1));
+  env.team.run([&](Rank& me) {
+    DistMatrix x(env.rma, me, 4, 4, ProcGrid{2, 1});
+    x.destroy(me);
+  });
+}
+
+TEST(DistMatrix, RectBoundsChecked) {
+  DistEnv env(MachineModel::testing(1, 1));
+  env.team.run([&](Rank& me) {
+    DistMatrix x(env.rma, me, 4, 4, ProcGrid{1, 1});
+    Matrix dst(2, 2);
+    EXPECT_THROW((void)x.fetch_nb(me, 3, 3, 2, 2, dst.view()), Error);
+    EXPECT_THROW((void)x.fetch_nb(me, -1, 0, 1, 1, dst.view()), Error);
+    EXPECT_THROW((void)x.direct_view(me, 0, 0, 5, 1), Error);
+  });
+}
+
+TEST(DistMatrix, GridSizeMustMatchTeam) {
+  DistEnv env(MachineModel::testing(2, 1));
+  EXPECT_THROW(env.team.run([&](Rank& me) {
+    DistMatrix x(env.rma, me, 4, 4, ProcGrid{3, 1});
+  }),
+               Error);
+}
+
+}  // namespace
+}  // namespace srumma

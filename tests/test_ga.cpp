@@ -1,0 +1,312 @@
+// Tests for the Global-Arrays-style layer and the generalized one-sided
+// store/accumulate primitives underneath it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ga/global_array.hpp"
+#include "tests/helpers.hpp"
+
+namespace srumma {
+namespace {
+
+struct GaEnv {
+  Team team;
+  RmaRuntime rma;
+  explicit GaEnv(MachineModel m) : team(std::move(m)), rma(team) {}
+};
+
+TEST(DistStore, PutRectangleAcrossOwners) {
+  GaEnv env(MachineModel::testing(2, 2));
+  Matrix out(12, 12);
+  env.team.run([&](Rank& me) {
+    DistMatrix x(env.rma, me, 12, 12, ProcGrid{2, 2});
+    me.barrier();
+    if (me.id() == 3) {
+      Matrix patch(5, 7);
+      fill_coords(patch.view(), 4, 3);
+      PatchHandle h = x.store_nb(me, 4, 3, 5, 7, patch.view());
+      x.wait(me, h);
+    }
+    x.gather_to(me, out.view());
+  });
+  Matrix expect(12, 12);
+  fill_coords(expect.block(4, 3, 5, 7), 4, 3);
+  EXPECT_EQ(max_abs_diff(out.view(), expect.view()), 0.0);
+}
+
+TEST(DistStore, AccumulateSumsConcurrentContributions) {
+  // Every rank accumulates 1.0 into the same global rectangle; the result
+  // must be exactly P in every cell (atomicity under real concurrency).
+  GaEnv env(MachineModel::testing(2, 2));
+  Matrix out(8, 8);
+  env.team.run([&](Rank& me) {
+    DistMatrix x(env.rma, me, 8, 8, ProcGrid{2, 2});
+    me.barrier();
+    Matrix ones(6, 6);
+    ones.fill(1.0);
+    PatchHandle h = x.accumulate_nb(me, 1, 1, 6, 6, 1.0, ones.view());
+    x.wait(me, h);
+    x.gather_to(me, out.view());
+  });
+  for (index_t j = 0; j < 8; ++j)
+    for (index_t i = 0; i < 8; ++i) {
+      const bool inside = i >= 1 && i < 7 && j >= 1 && j < 7;
+      EXPECT_DOUBLE_EQ(out(i, j), inside ? 4.0 : 0.0) << i << "," << j;
+    }
+}
+
+TEST(DistStore, AccumulateScalesByAlpha) {
+  GaEnv env(MachineModel::testing(2, 1));
+  Matrix out(4, 4);
+  env.team.run([&](Rank& me) {
+    DistMatrix x(env.rma, me, 4, 4, ProcGrid{2, 1});
+    me.barrier();
+    if (me.id() == 0) {
+      Matrix p(4, 4);
+      p.fill(2.0);
+      PatchHandle h1 = x.accumulate_nb(me, 0, 0, 4, 4, 0.5, p.view());
+      x.wait(me, h1);
+      PatchHandle h2 = x.accumulate_nb(me, 0, 0, 4, 4, -0.25, p.view());
+      x.wait(me, h2);
+    }
+    x.gather_to(me, out.view());
+  });
+  EXPECT_DOUBLE_EQ(out(3, 3), 0.5);  // 2*0.5 - 2*0.25
+}
+
+TEST(RmaAcc, RemoteAccumulateStealsOwnerCpu) {
+  GaEnv env(MachineModel::testing(2, 1));
+  env.team.run([&](Rank& me) {
+    SymmetricRegion r = env.rma.malloc_symmetric(me, 256);
+    me.barrier();
+    if (me.id() == 0) {
+      Matrix p(16, 16);
+      p.fill(1.0);
+      RmaHandle h =
+          env.rma.nbacc2d(me, 1, 1.0, p.data(), 16, 16, 16, r.base(1), 16);
+      env.rma.wait(me, h);
+    }
+    me.barrier();
+    if (me.id() == 1) {
+      EXPECT_GT(me.clock().steal_total(), 0.0);  // the add ran on my CPU
+      EXPECT_DOUBLE_EQ(r.base(1)[100], 1.0);
+    }
+  });
+}
+
+TEST(Ga, CreateFillAccessDistribution) {
+  GaEnv env(MachineModel::testing(2, 2));
+  env.team.run([&](Rank& me) {
+    ga::GlobalArray a(env.rma, me, 10, 6);
+    a.fill(me, 3.5);
+    EXPECT_DOUBLE_EQ(a.access(me)(0, 0), 3.5);
+    const auto [rrange, crange] = a.distribution(me.id());
+    EXPECT_EQ(rrange.second - rrange.first, a.dist().block_rows(me.id()));
+    EXPECT_EQ(crange.second - crange.first, a.dist().block_cols(me.id()));
+    a.destroy(me);
+  });
+}
+
+TEST(Ga, GetPutRoundTrip) {
+  GaEnv env(MachineModel::testing(3, 2));
+  env.team.run([&](Rank& me) {
+    ga::GlobalArray a(env.rma, me, 15, 11);
+    a.fill(me, 0.0);
+    if (me.id() == 2) {
+      Matrix patch(6, 5);
+      fill_coords(patch.view(), 0, 0);
+      a.put(me, 7, 4, 6, 5, patch.view());
+    }
+    a.sync(me);
+    Matrix readback(6, 5);
+    a.get(me, 7, 4, 6, 5, readback.view());
+    Matrix expect(6, 5);
+    fill_coords(expect.view(), 0, 0);
+    EXPECT_EQ(max_abs_diff(readback.view(), expect.view()), 0.0);
+  });
+}
+
+TEST(Ga, AccIsAtomicAcrossRanks) {
+  GaEnv env(MachineModel::testing(3, 2));
+  env.team.run([&](Rank& me) {
+    ga::GlobalArray a(env.rma, me, 9, 9);
+    a.fill(me, 1.0);
+    Matrix inc(9, 9);
+    inc.fill(static_cast<double>(me.id()));
+    a.acc(me, 0, 0, 9, 9, 1.0, inc.view());
+    a.sync(me);
+    Matrix full(9, 9);
+    a.get(me, 0, 0, 9, 9, full.view());
+    // 1 + sum of rank ids 0..5 = 16
+    EXPECT_DOUBLE_EQ(full(4, 4), 16.0);
+  });
+}
+
+TEST(Ga, DgemmMatchesReference) {
+  GaEnv env(MachineModel::testing(2, 2));
+  Matrix a_g = testing::coords_matrix(14, 18);
+  Matrix b_g(14, 10);
+  fill_random(b_g.view(), 33);
+  // C = 2 * A^T B with A stored 14x18 -> C is 18x10.
+  Matrix c_ref(18, 10);
+  testing::reference_gemm(blas::Trans::Yes, blas::Trans::No, 2.0, a_g, b_g,
+                          0.0, c_ref);
+  Matrix c_out(18, 10);
+  env.team.run([&](Rank& me) {
+    ga::GlobalArray a(env.rma, me, 14, 18);
+    ga::GlobalArray b(env.rma, me, 14, 10);
+    ga::GlobalArray c(env.rma, me, 18, 10);
+    a.dist().scatter_from(me, a_g.view());
+    b.dist().scatter_from(me, b_g.view());
+    MultiplyResult r = ga::dgemm(me, 't', 'n', 2.0, a, b, 0.0, c);
+    EXPECT_GT(r.gflops, 0.0);
+    c.dist().gather_to(me, c_out.view());
+  });
+  EXPECT_LE(max_abs_diff(c_out.view(), c_ref.view()),
+            testing::gemm_tolerance(14));
+}
+
+TEST(Ga, DgemmRejectsBadTransposeFlag) {
+  GaEnv env(MachineModel::testing(1, 1));
+  EXPECT_THROW(env.team.run([&](Rank& me) {
+    ga::GlobalArray a(env.rma, me, 4, 4);
+    ga::GlobalArray c(env.rma, me, 4, 4);
+    ga::dgemm(me, 'x', 'n', 1.0, a, a, 0.0, c);
+  }),
+               Error);
+}
+
+TEST(Ga, TransposeOneSided) {
+  GaEnv env(MachineModel::testing(3, 2));
+  Matrix a_g = testing::coords_matrix(13, 7);
+  Matrix expect(7, 13);
+  transpose(a_g.view(), expect.view());
+  Matrix out(7, 13);
+  env.team.run([&](Rank& me) {
+    ga::GlobalArray a(env.rma, me, 13, 7);
+    ga::GlobalArray b(env.rma, me, 7, 13);
+    a.dist().scatter_from(me, a_g.view());
+    const auto msgs_before = me.trace().sends;
+    ga::transpose(me, a, b);
+    EXPECT_EQ(me.trace().sends, msgs_before);  // strictly one-sided
+    b.dist().gather_to(me, out.view());
+  });
+  EXPECT_EQ(max_abs_diff(out.view(), expect.view()), 0.0);
+}
+
+TEST(Ga, AddAndScale) {
+  GaEnv env(MachineModel::testing(2, 2));
+  env.team.run([&](Rank& me) {
+    ga::GlobalArray a(env.rma, me, 8, 8);
+    ga::GlobalArray b(env.rma, me, 8, 8);
+    ga::GlobalArray c(env.rma, me, 8, 8);
+    a.fill(me, 2.0);
+    b.fill(me, 3.0);
+    ga::add(me, 2.0, a, -1.0, b, c);  // 2*2 - 3 = 1
+    Matrix out(1, 1);
+    c.get(me, 5, 5, 1, 1, out.view());
+    EXPECT_DOUBLE_EQ(out(0, 0), 1.0);
+    ga::scale(me, c, 4.0);
+    c.get(me, 5, 5, 1, 1, out.view());
+    EXPECT_DOUBLE_EQ(out(0, 0), 4.0);
+  });
+}
+
+TEST(Ga, DotReducesAcrossRanks) {
+  GaEnv env(MachineModel::testing(2, 2));
+  env.team.run([&](Rank& me) {
+    ga::GlobalArray a(env.rma, me, 6, 6);
+    ga::GlobalArray b(env.rma, me, 6, 6);
+    a.fill(me, 2.0);
+    b.fill(me, 0.5);
+    const double d = ga::dot(me, a, b);
+    EXPECT_DOUBLE_EQ(d, 36.0);  // 36 elements * 1.0
+  });
+}
+
+TEST(Ga, DotOnPhantomThrows) {
+  GaEnv env(MachineModel::testing(2, 1));
+  EXPECT_THROW(env.team.run([&](Rank& me) {
+    ga::GlobalArray a(env.rma, me, 4, 4, std::nullopt, /*phantom=*/true);
+    ga::dot(me, a, a);
+  }),
+               Error);
+}
+
+TEST(Ga, PhantomDgemmCharges) {
+  GaEnv env(MachineModel::linux_myrinet(2));
+  env.team.run([&](Rank& me) {
+    ga::GlobalArray a(env.rma, me, 512, 512, std::nullopt, true);
+    ga::GlobalArray b(env.rma, me, 512, 512, std::nullopt, true);
+    ga::GlobalArray c(env.rma, me, 512, 512, std::nullopt, true);
+    MultiplyResult r = ga::dgemm(me, 'n', 'n', 1.0, a, b, 0.0, c);
+    EXPECT_GT(r.elapsed, 0.0);
+  });
+}
+
+TEST(Ga, CopyArraySameAndDifferentGrids) {
+  GaEnv env(MachineModel::testing(2, 2));
+  Matrix src = testing::coords_matrix(10, 8);
+  env.team.run([&](Rank& me) {
+    ga::GlobalArray a(env.rma, me, 10, 8);
+    ga::GlobalArray b(env.rma, me, 10, 8);
+    ga::GlobalArray c(env.rma, me, 10, 8, ProcGrid{4, 1});
+    a.dist().scatter_from(me, src.view());
+    ga::copy_array(me, a, b);
+    ga::copy_array(me, a, c);  // cross-grid: one-sided pull
+    Matrix out_b(10, 8), out_c(10, 8);
+    b.get(me, 0, 0, 10, 8, out_b.view());
+    c.get(me, 0, 0, 10, 8, out_c.view());
+    EXPECT_EQ(max_abs_diff(out_b.view(), src.view()), 0.0);
+    EXPECT_EQ(max_abs_diff(out_c.view(), src.view()), 0.0);
+  });
+}
+
+TEST(Ga, NormInfMatchesSerial) {
+  GaEnv env(MachineModel::testing(3, 2));
+  Matrix src(11, 7);
+  fill_random(src.view(), 44);
+  double expect = 0.0;
+  for (index_t i = 0; i < 11; ++i) {
+    double s = 0.0;
+    for (index_t j = 0; j < 7; ++j) s += std::abs(src(i, j));
+    expect = std::max(expect, s);
+  }
+  env.team.run([&](Rank& me) {
+    ga::GlobalArray a(env.rma, me, 11, 7);
+    a.dist().scatter_from(me, src.view());
+    EXPECT_DOUBLE_EQ(ga::norm_inf(me, a), expect);
+  });
+}
+
+TEST(Ga, SymmetrizeProducesSymmetricMatrix) {
+  GaEnv env(MachineModel::testing(2, 2));
+  Matrix src(12, 12);
+  fill_random(src.view(), 45);
+  Matrix expect(12, 12);
+  for (index_t j = 0; j < 12; ++j)
+    for (index_t i = 0; i < 12; ++i)
+      expect(i, j) = 0.5 * (src(i, j) + src(j, i));
+  Matrix out(12, 12);
+  env.team.run([&](Rank& me) {
+    ga::GlobalArray a(env.rma, me, 12, 12);
+    a.dist().scatter_from(me, src.view());
+    ga::symmetrize(me, a);
+    a.dist().gather_to(me, out.view());
+  });
+  EXPECT_LE(max_abs_diff(out.view(), expect.view()), 1e-14);
+}
+
+TEST(Ga, ExplicitGridRespected) {
+  GaEnv env(MachineModel::testing(4, 1));
+  env.team.run([&](Rank& me) {
+    ga::GlobalArray a(env.rma, me, 8, 8, ProcGrid{4, 1});
+    EXPECT_EQ(a.dist().grid().p, 4);
+    EXPECT_EQ(a.dist().block_cols(me.id()), 8);
+  });
+}
+
+}  // namespace
+}  // namespace srumma

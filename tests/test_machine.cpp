@@ -1,0 +1,104 @@
+// Tests for the machine models: topology helpers, domain mapping, the
+// dgemm rate saturation model, and the paper-platform parameter sets.
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hpp"
+#include "util/error.hpp"
+
+namespace srumma {
+namespace {
+
+TEST(DgemmRate, SaturatesMonotonically) {
+  DgemmRateModel m{1e9, 0.8, 32.0};
+  double prev = 0.0;
+  for (index_t s : {1, 2, 4, 8, 16, 32, 64, 128, 512, 4096}) {
+    const double r = m.rate(s, s, s);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+  EXPECT_LT(prev, 0.8e9);                    // never exceeds the asymptote
+  EXPECT_GT(prev, 0.8e9 * 4096 / (4096.0 + 32.0) * 0.999);
+}
+
+TEST(DgemmRate, HalfSizePoint) {
+  DgemmRateModel m{2e9, 0.5, 64.0};
+  EXPECT_NEAR(m.rate(64, 64, 64), 2e9 * 0.5 * 0.5, 1e3);
+}
+
+TEST(DgemmRate, TimeMatchesFlopsOverRate) {
+  DgemmRateModel m{1e9, 0.9, 16.0};
+  const double t = m.time(100, 200, 50);
+  EXPECT_NEAR(t, 2.0 * 100 * 200 * 50 / m.rate(100, 200, 50), 1e-12);
+  EXPECT_EQ(m.time(0, 10, 10), 0.0);
+}
+
+TEST(DgemmRate, NonCubicShapeUsesGeometricMean) {
+  DgemmRateModel m{1e9, 0.8, 32.0};
+  // (1000, 1000, 1) has geometric mean 100: same rate as a 100-cube.
+  EXPECT_NEAR(m.rate(1000, 1000, 1), m.rate(100, 100, 100), 1.0);
+}
+
+TEST(Machine, NodeAndDomainMapping) {
+  MachineModel m = MachineModel::testing(4, 3);
+  EXPECT_EQ(m.total_ranks(), 12);
+  EXPECT_EQ(m.node_of(0), 0);
+  EXPECT_EQ(m.node_of(2), 0);
+  EXPECT_EQ(m.node_of(3), 1);
+  EXPECT_EQ(m.node_of(11), 3);
+  EXPECT_TRUE(m.same_domain(0, 2));
+  EXPECT_FALSE(m.same_domain(2, 3));
+  EXPECT_EQ(m.num_domains(), 4);
+  EXPECT_EQ(m.domain_size(), 3);
+}
+
+TEST(Machine, SingleDomainMachinesSpanAllRanks) {
+  MachineModel altix = MachineModel::sgi_altix(16);
+  EXPECT_TRUE(altix.single_shared_domain);
+  EXPECT_TRUE(altix.same_domain(0, altix.total_ranks() - 1));
+  EXPECT_EQ(altix.num_domains(), 1);
+  EXPECT_EQ(altix.domain_size(), 16);
+  // Aggregate bandwidth scales with bricks in the single domain.
+  EXPECT_NEAR(altix.domain_agg_bw(), altix.shm_agg_bw_per_node * 8, 1.0);
+}
+
+TEST(Machine, PaperPlatformTopologies) {
+  EXPECT_EQ(MachineModel::linux_myrinet(64).total_ranks(), 128);
+  EXPECT_EQ(MachineModel::linux_myrinet(64).ranks_per_node, 2);
+  EXPECT_EQ(MachineModel::ibm_sp(16).total_ranks(), 256);
+  EXPECT_EQ(MachineModel::ibm_sp(16).ranks_per_node, 16);
+  EXPECT_EQ(MachineModel::cray_x1(32).total_ranks(), 128);
+  EXPECT_EQ(MachineModel::sgi_altix(128).total_ranks(), 128);
+}
+
+TEST(Machine, PaperPlatformProtocolTraits) {
+  // The traits the paper's experiments hinge on.
+  EXPECT_TRUE(MachineModel::linux_myrinet(4).zero_copy);   // GM RDMA
+  EXPECT_FALSE(MachineModel::ibm_sp(4).zero_copy);         // LAPI host copies
+  EXPECT_FALSE(MachineModel::cray_x1(4).remote_cacheable); // X1 coherence
+  EXPECT_TRUE(MachineModel::sgi_altix(8).remote_cacheable);
+  EXPECT_LT(MachineModel::cray_x1(4).remote_direct_rate_factor, 0.5);
+  EXPECT_GT(MachineModel::sgi_altix(8).remote_direct_rate_factor, 0.5);
+}
+
+TEST(Machine, PaperPlatformPeakRates) {
+  EXPECT_NEAR(MachineModel::sgi_altix(2).dgemm.peak_flops, 6e9, 1);   // It2 1.5GHz
+  EXPECT_NEAR(MachineModel::cray_x1(1).dgemm.peak_flops, 12.8e9, 1);  // MSP
+  EXPECT_NEAR(MachineModel::ibm_sp(1).dgemm.peak_flops, 1.5e9, 1);    // P3 375MHz
+  EXPECT_NEAR(MachineModel::linux_myrinet(1).dgemm.peak_flops, 4.8e9, 1);
+}
+
+TEST(Machine, InvalidConfigsThrow) {
+  EXPECT_THROW(MachineModel::linux_myrinet(0), Error);
+  EXPECT_THROW(MachineModel::sgi_altix(3), Error);  // bricks hold 2 CPUs
+  EXPECT_THROW(MachineModel::testing(0, 1), Error);
+}
+
+TEST(Machine, EagerThresholdIs16K) {
+  // Fig. 7's protocol cliff sits at 16 KB on the paper's clusters.
+  EXPECT_DOUBLE_EQ(MachineModel::linux_myrinet(1).eager_threshold, 16384.0);
+  EXPECT_DOUBLE_EQ(MachineModel::ibm_sp(1).eager_threshold, 16384.0);
+}
+
+}  // namespace
+}  // namespace srumma

@@ -1,0 +1,122 @@
+// Tests for the OS-noise (daemon preemption) model: determinism, rate
+// correctness, decorrelation across ranks, and the synchronization-
+// amplification effect the paper's Section 2 argues for.
+
+#include <gtest/gtest.h>
+
+#include "msg/comm.hpp"
+#include "runtime/team.hpp"
+
+namespace srumma {
+namespace {
+
+MachineModel noisy_machine(int nodes, int rpn, double interval, double dur) {
+  MachineModel m = MachineModel::testing(nodes, rpn);
+  m.noise_daemon_interval = interval;
+  m.noise_daemon_duration = dur;
+  return m;
+}
+
+TEST(Noise, DisabledByDefaultInTestingModel) {
+  Team team(MachineModel::testing(1, 2));
+  team.run([](Rank& me) {
+    me.charge_seconds(100.0);
+    EXPECT_EQ(me.trace().time_noise, 0.0);
+  });
+}
+
+TEST(Noise, RateMatchesParameters) {
+  // interval 0.1 s, duration 1 ms: 10 s of CPU should collect ~100
+  // preemptions = ~0.1 s of noise (gaps are uniform in [0.5, 1.5] x
+  // interval, so the expectation is exact up to edge effects).
+  Team team(noisy_machine(1, 1, 0.1, 1e-3));
+  team.run([](Rank& me) {
+    me.charge_seconds(10.0);
+    EXPECT_NEAR(me.trace().time_noise, 0.1, 0.03);
+    EXPECT_NEAR(me.clock().now(), 10.0 + me.trace().time_noise, 1e-12);
+  });
+}
+
+TEST(Noise, DeterministicAcrossRuns) {
+  Team team(noisy_machine(2, 1, 0.05, 2e-3));
+  double first = -1.0;
+  for (int round = 0; round < 3; ++round) {
+    team.reset();
+    team.run([](Rank& me) {
+      for (int i = 0; i < 50; ++i) me.charge_seconds(0.01 * (me.id() + 1));
+    });
+    const double total = team.total_trace().time_noise;
+    EXPECT_GT(total, 0.0);
+    if (first < 0) {
+      first = total;
+    } else {
+      EXPECT_DOUBLE_EQ(total, first);
+    }
+  }
+}
+
+TEST(Noise, RanksAreDecorrelated) {
+  // Two ranks consuming identical CPU must not preempt at identical points
+  // (that would destroy the max-over-ranks amplification).
+  Team team(noisy_machine(2, 1, 0.05, 1e-3));
+  std::array<double, 64> marks0{}, marks1{};
+  team.run([&](Rank& me) {
+    auto& marks = me.id() == 0 ? marks0 : marks1;
+    for (int i = 0; i < 64; ++i) {
+      me.charge_seconds(0.01);
+      marks[static_cast<std::size_t>(i)] = me.clock().now();
+    }
+  });
+  int identical = 0;
+  for (std::size_t i = 0; i < 64; ++i)
+    identical += marks0[i] == marks1[i];
+  EXPECT_LT(identical, 60);  // some coincide before the first preemption
+}
+
+TEST(Noise, BulkSynchronousAmplification) {
+  // The paper's Section 2 argument: with per-step synchronization, each
+  // step pays the *max* preemption over ranks, so the same work loses more
+  // time than an asynchronous schedule that only syncs once at the end.
+  const double interval = 0.02, dur = 2e-3;
+  const int steps = 50;
+  const double step_work = 0.01;
+
+  Team sync_team(noisy_machine(8, 1, interval, dur));
+  sync_team.run([&](Rank& me) {
+    for (int s = 0; s < steps; ++s) {
+      me.charge_seconds(step_work);
+      me.barrier();
+    }
+  });
+  const double t_sync = sync_team.max_clock();
+
+  Team async_team(noisy_machine(8, 1, interval, dur));
+  async_team.run([&](Rank& me) {
+    for (int s = 0; s < steps; ++s) me.charge_seconds(step_work);
+    me.barrier();
+  });
+  const double t_async = async_team.max_clock();
+
+  // Same total work and identical per-rank noise draws; the synchronized
+  // schedule must be meaningfully slower (beyond its barrier costs).
+  const double barrier_cost = 50 * 3 * sync_team.machine().barrier_hop_latency;
+  EXPECT_GT(t_sync - barrier_cost, t_async * 1.05);
+}
+
+TEST(Noise, ResetRestartsTheSequence) {
+  Team team(noisy_machine(1, 1, 0.03, 1e-3));
+  double a = 0.0, b = 0.0;
+  team.run([&](Rank& me) {
+    me.charge_seconds(1.0);
+    a = me.clock().now();
+  });
+  team.reset();
+  team.run([&](Rank& me) {
+    me.charge_seconds(1.0);
+    b = me.clock().now();
+  });
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace srumma

@@ -1,0 +1,158 @@
+// Tests for the Team/Rank substrate: SPMD launch, virtual-time barriers,
+// gemm charging, failure propagation, and the trace board.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "runtime/team.hpp"
+#include "util/error.hpp"
+
+namespace srumma {
+namespace {
+
+TEST(Team, RunsEveryRankOnce) {
+  Team team(MachineModel::testing(2, 3));
+  std::atomic<int> count{0};
+  std::atomic<int> id_sum{0};
+  team.run([&](Rank& me) {
+    count.fetch_add(1);
+    id_sum.fetch_add(me.id());
+  });
+  EXPECT_EQ(count.load(), 6);
+  EXPECT_EQ(id_sum.load(), 0 + 1 + 2 + 3 + 4 + 5);
+}
+
+TEST(Team, RankTopologyAccessors) {
+  Team team(MachineModel::testing(2, 2));
+  team.run([&](Rank& me) {
+    EXPECT_EQ(me.node(), me.id() / 2);
+    EXPECT_EQ(me.domain(), me.node());
+    EXPECT_EQ(&me.team(), &team);
+  });
+}
+
+TEST(Team, BarrierEqualizesClocksToMaxPlusCost) {
+  Team team(MachineModel::testing(4, 1));
+  const double hop = team.machine().barrier_hop_latency;
+  team.run([&](Rank& me) {
+    me.charge_seconds(static_cast<double>(me.id()) * 0.5);
+    me.barrier();
+    // max clock was 1.5 (rank 3); tree depth ceil(log2 4) = 2 hops.
+    EXPECT_NEAR(me.clock().now(), 1.5 + 2 * hop, 1e-12);
+  });
+}
+
+TEST(Team, RepeatedBarriersStayConsistent) {
+  Team team(MachineModel::testing(3, 1));
+  team.run([&](Rank& me) {
+    for (int i = 0; i < 50; ++i) {
+      me.charge_seconds(me.id() == i % 3 ? 1e-3 : 0.0);
+      me.barrier();
+    }
+  });
+  // All clocks identical after a barrier.
+  const double t0 = team.rank(0).clock().now();
+  for (int r = 1; r < team.size(); ++r)
+    EXPECT_DOUBLE_EQ(team.rank(r).clock().now(), t0);
+}
+
+TEST(Team, ChargeGemmAdvancesClockAndTrace) {
+  Team team(MachineModel::testing(1, 1));
+  team.run([&](Rank& me) {
+    me.charge_gemm(100, 100, 100);
+    const double expect = team.machine().dgemm.time(100, 100, 100);
+    EXPECT_DOUBLE_EQ(me.clock().now(), expect);
+    EXPECT_DOUBLE_EQ(me.trace().time_compute, expect);
+    EXPECT_EQ(me.trace().gemm_calls, 1u);
+    EXPECT_DOUBLE_EQ(me.trace().flops, 2e6);
+  });
+}
+
+TEST(Team, ChargeGemmRateFactorSlowsDown) {
+  Team team(MachineModel::testing(1, 1));
+  team.run([&](Rank& me) {
+    me.charge_gemm(64, 64, 64, 0.5);
+    EXPECT_NEAR(me.clock().now(), team.machine().dgemm.time(64, 64, 64) * 2.0,
+                1e-15);
+    EXPECT_THROW(me.charge_gemm(8, 8, 8, 0.0), Error);
+  });
+}
+
+TEST(Team, ExceptionPropagatesAndDoesNotDeadlock) {
+  Team team(MachineModel::testing(4, 1));
+  EXPECT_THROW(team.run([&](Rank& me) {
+    if (me.id() == 2) throw Error("rank 2 failed");
+    me.barrier();  // would deadlock without abort-propagation
+  }),
+               Error);
+  EXPECT_TRUE(team.aborted());
+  team.reset();
+  EXPECT_FALSE(team.aborted());
+  // Team is usable again after reset.
+  team.run([](Rank& me) { me.barrier(); });
+}
+
+TEST(Team, RunAfterAbortWithoutResetThrows) {
+  Team team(MachineModel::testing(2, 1));
+  EXPECT_THROW(team.run([](Rank&) { throw Error("boom"); }), Error);
+  EXPECT_THROW(team.run([](Rank&) {}), Error);
+}
+
+TEST(Team, ResetClearsClocksTracesAndNetwork) {
+  Team team(MachineModel::testing(2, 1));
+  team.run([](Rank& me) {
+    me.charge_gemm(32, 32, 32);
+    me.barrier();
+  });
+  EXPECT_GT(team.max_clock(), 0.0);
+  team.reset();
+  EXPECT_EQ(team.max_clock(), 0.0);
+  EXPECT_EQ(team.total_trace().gemm_calls, 0u);
+}
+
+TEST(Team, TotalTraceSumsRanks) {
+  Team team(MachineModel::testing(3, 1));
+  team.run([](Rank& me) { me.charge_gemm(16, 16, 16); });
+  EXPECT_EQ(team.total_trace().gemm_calls, 3u);
+}
+
+TEST(Team, TraceBoardSlotsArePerRank) {
+  Team team(MachineModel::testing(2, 2));
+  team.run([&](Rank& me) {
+    TraceCounters t;
+    t.gets = static_cast<std::uint64_t>(me.id());
+    team.trace_board(me.id()) = t;
+    me.barrier();
+    std::uint64_t sum = 0;
+    for (int r = 0; r < team.size(); ++r) sum += team.trace_board(r).gets;
+    EXPECT_EQ(sum, 0u + 1 + 2 + 3);
+  });
+}
+
+TEST(Team, SingleRankBarrierIsFree) {
+  Team team(MachineModel::testing(1, 1));
+  team.run([](Rank& me) {
+    me.barrier();
+    EXPECT_DOUBLE_EQ(me.clock().now(), 0.0);
+  });
+}
+
+TEST(Team, RankOutOfRangeThrows) {
+  Team team(MachineModel::testing(2, 1));
+  EXPECT_THROW((void)team.rank(2), Error);
+  EXPECT_THROW((void)team.rank(-1), Error);
+  EXPECT_THROW((void)team.trace_board(7), Error);
+}
+
+TEST(Team, ManyRanksBarrierStress) {
+  Team team(MachineModel::testing(32, 2));  // 64 threads on this host
+  team.run([](Rank& me) {
+    for (int i = 0; i < 10; ++i) me.barrier();
+  });
+  EXPECT_GT(team.max_clock(), 0.0);
+}
+
+}  // namespace
+}  // namespace srumma

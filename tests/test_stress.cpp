@@ -1,0 +1,262 @@
+// Stress and fuzz suites: randomized many-to-many communication storms,
+// randomized SRUMMA configurations against the serial oracle, and
+// concurrency hammering of the one-sided layer.  These run with real
+// concurrency (ranks are OS threads), so they exercise the matching,
+// eviction and synchronization logic under arbitrary interleavings.
+
+#include <gtest/gtest.h>
+
+#include "core/srumma.hpp"
+#include "msg/comm.hpp"
+#include "tests/helpers.hpp"
+#include "util/rng.hpp"
+
+namespace srumma {
+namespace {
+
+TEST(Stress, ManyToManyMessageStorm) {
+  // Every rank sends a tagged burst to every other rank in random order;
+  // every payload must arrive intact.
+  Team team(MachineModel::testing(3, 2));
+  Comm comm(team);
+  constexpr int kMsgs = 8;
+  team.run([&](Rank& me) {
+    const int p = team.size();
+    Rng rng(500 + me.id());
+    // Post all receives first (wildcard-free: exact src/tag).
+    std::vector<RecvHandle> handles;
+    std::vector<std::vector<double>> bufs;
+    for (int src = 0; src < p; ++src) {
+      if (src == me.id()) continue;
+      for (int k = 0; k < kMsgs; ++k) {
+        bufs.emplace_back(4, -1.0);
+        handles.push_back(
+            comm.irecv(me, src, 1000 + k, bufs.back().data(), 4));
+      }
+    }
+    // Send bursts in a per-rank random destination order.
+    std::vector<std::pair<int, int>> sends;  // (dst, k)
+    for (int dst = 0; dst < p; ++dst) {
+      if (dst == me.id()) continue;
+      for (int k = 0; k < kMsgs; ++k) sends.push_back({dst, k});
+    }
+    for (std::size_t i = sends.size(); i > 1; --i) {
+      std::swap(sends[i - 1], sends[rng.below(i)]);
+    }
+    for (auto [dst, k] : sends) {
+      double payload[4] = {static_cast<double>(me.id()),
+                           static_cast<double>(dst),
+                           static_cast<double>(k), 42.0};
+      comm.send(me, dst, 1000 + k, payload, 4);
+    }
+    // Complete everything and validate contents.
+    std::size_t idx = 0;
+    for (int src = 0; src < p; ++src) {
+      if (src == me.id()) continue;
+      for (int k = 0; k < kMsgs; ++k, ++idx) {
+        comm.wait(me, handles[idx]);
+        EXPECT_EQ(bufs[idx][0], static_cast<double>(src));
+        EXPECT_EQ(bufs[idx][1], static_cast<double>(me.id()));
+        EXPECT_EQ(bufs[idx][2], static_cast<double>(k));
+      }
+    }
+  });
+}
+
+TEST(Stress, MixedEagerAndRendezvousInterleaved) {
+  // Alternating small (eager) and large (rendezvous) messages on one
+  // channel must stay FIFO and intact.
+  Team team(MachineModel::testing(2, 1));
+  Comm comm(team);
+  constexpr int kRounds = 10;
+  team.run([&](Rank& me) {
+    if (me.id() == 0) {
+      for (int r = 0; r < kRounds; ++r) {
+        std::vector<double> big(4096, static_cast<double>(r));
+        double small = static_cast<double>(r) + 0.5;
+        comm.send(me, 1, 7, &small, 1);
+        comm.send(me, 1, 7, big.data(), big.size());
+      }
+    } else {
+      for (int r = 0; r < kRounds; ++r) {
+        double small = -1;
+        std::vector<double> big(4096, -1.0);
+        comm.recv(me, 0, 7, &small, 1);
+        comm.recv(me, 0, 7, big.data(), big.size());
+        EXPECT_EQ(small, r + 0.5);
+        EXPECT_EQ(big[4095], static_cast<double>(r));
+      }
+    }
+  });
+}
+
+TEST(Stress, ConcurrentGetsFromOneOwner) {
+  // All ranks hammer rank 0's segment with overlapping strided gets; data
+  // must always match and the owner's memory must be untouched.
+  Team team(MachineModel::testing(4, 2));
+  RmaRuntime rma(team);
+  team.run([&](Rank& me) {
+    SymmetricRegion region = rma.malloc_symmetric(me, 32 * 32);
+    MatrixView mine(region.base(me.id()), 32, 32, 32);
+    fill_coords(mine, me.id() * 32, 0);
+    me.barrier();
+    Rng rng(900 + me.id());
+    for (int trial = 0; trial < 40; ++trial) {
+      const index_t i0 = static_cast<index_t>(rng.below(28));
+      const index_t j0 = static_cast<index_t>(rng.below(28));
+      const index_t rows = 1 + static_cast<index_t>(rng.below(32 - i0));
+      const index_t cols = 1 + static_cast<index_t>(rng.below(32 - j0));
+      Matrix dst(rows, cols);
+      RmaHandle h = rma.nbget2d(me, 0, region.base(0) + i0 + j0 * 32, 32,
+                                rows, cols, dst.data(), dst.ld());
+      rma.wait(me, h);
+      Matrix expect(rows, cols);
+      fill_coords(expect.view(), i0, j0);
+      EXPECT_EQ(max_abs_diff(dst.view(), expect.view()), 0.0);
+    }
+    me.barrier();
+    // Owner's data unchanged.
+    Matrix expect(32, 32);
+    fill_coords(expect.view(), me.id() * 32, 0);
+    EXPECT_EQ(max_abs_diff(ConstMatrixView(mine), expect.view()), 0.0);
+  });
+}
+
+TEST(Stress, RandomizedSrummaConfigsAgainstOracle) {
+  // Fuzz: 12 random configurations (shape, grid, transposes, chunking,
+  // ordering, lookahead, flavor) checked against the naive serial kernel.
+  Rng rng(2026);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int nodes = 1 + static_cast<int>(rng.below(3));
+    const int rpn = 1 + static_cast<int>(rng.below(3));
+    const int p_ranks = nodes * rpn;
+    // Random grid factorization of p_ranks.
+    int gp = 1;
+    for (int d = 1; d <= p_ranks; ++d)
+      if (p_ranks % d == 0 && rng.below(2)) gp = d;
+    const ProcGrid grid{gp, p_ranks / gp};
+
+    SrummaOptions opt;
+    opt.ta = rng.below(2) ? blas::Trans::Yes : blas::Trans::No;
+    opt.tb = rng.below(2) ? blas::Trans::Yes : blas::Trans::No;
+    opt.alpha = rng.uniform(-2.0, 2.0);
+    opt.beta = rng.below(3) == 0 ? 0.0 : rng.uniform(-1.0, 1.0);
+    opt.k_chunk = static_cast<index_t>(1 + rng.below(24));
+    opt.c_chunk = rng.below(2) ? 0 : static_cast<index_t>(3 + rng.below(12));
+    opt.lookahead = 1 + static_cast<int>(rng.below(4));
+    opt.nonblocking = rng.below(4) != 0;
+    opt.shm_flavor = rng.below(2) ? ShmFlavor::Direct : ShmFlavor::Copy;
+    opt.ordering = OrderingPolicy{rng.below(2) == 1, rng.below(2) == 1,
+                                  rng.below(2) == 1};
+
+    const index_t m = 1 + static_cast<index_t>(rng.below(40));
+    const index_t n = 1 + static_cast<index_t>(rng.below(40));
+    const index_t k = 1 + static_cast<index_t>(rng.below(40));
+    const bool tra = opt.ta == blas::Trans::Yes;
+    const bool trb = opt.tb == blas::Trans::Yes;
+
+    Team team(MachineModel::testing(nodes, rpn));
+    RmaRuntime rma(team);
+    Matrix a_g(tra ? k : m, tra ? m : k);
+    Matrix b_g(trb ? n : k, trb ? k : n);
+    fill_random(a_g.view(), 10 + trial);
+    fill_random(b_g.view(), 20 + trial);
+    Matrix c_init(m, n);
+    fill_random(c_init.view(), 30 + trial);
+    Matrix c_ref = c_init;
+    testing::reference_gemm(opt.ta, opt.tb, opt.alpha, a_g, b_g, opt.beta,
+                            c_ref);
+    Matrix c_out(m, n);
+    team.run([&](Rank& me) {
+      DistMatrix a(rma, me, a_g.rows(), a_g.cols(), grid);
+      DistMatrix b(rma, me, b_g.rows(), b_g.cols(), grid);
+      DistMatrix c(rma, me, m, n, grid);
+      a.scatter_from(me, a_g.view());
+      b.scatter_from(me, b_g.view());
+      c.scatter_from(me, c_init.view());
+      srumma_multiply(me, a, b, c, opt);
+      c.gather_to(me, c_out.view());
+    });
+    EXPECT_LE(max_abs_diff(c_out.view(), c_ref.view()),
+              testing::gemm_tolerance(k))
+        << "trial " << trial << " m=" << m << " n=" << n << " k=" << k
+        << " grid=" << grid.p << "x" << grid.q
+        << " ta=" << static_cast<char>(opt.ta)
+        << " tb=" << static_cast<char>(opt.tb) << " kc=" << opt.k_chunk
+        << " cc=" << opt.c_chunk << " la=" << opt.lookahead;
+  }
+}
+
+TEST(Stress, RepeatedTeamReuseIsSchedulingInsensitive) {
+  // Run many multiplies on one team/runtime.  Virtual time is *almost*
+  // order-independent: the contention allocator places transfers by their
+  // virtual ready times, but when two transfers compete for the same gap
+  // the OS-dependent booking order breaks the tie.  The guaranteed
+  // property is therefore a tight tolerance, not bit-equality.
+  Team team(MachineModel::linux_myrinet(4));
+  RmaRuntime rma(team);
+  const ProcGrid g = ProcGrid::near_square(team.size());
+  double first = -1.0;
+  for (int round = 0; round < 5; ++round) {
+    team.reset();
+    MultiplyResult out;
+    team.run([&](Rank& me) {
+      DistMatrix a(rma, me, 1024, 1024, g, true);
+      DistMatrix b(rma, me, 1024, 1024, g, true);
+      DistMatrix c(rma, me, 1024, 1024, g, true);
+      MultiplyResult r = srumma_multiply(me, a, b, c, SrummaOptions{});
+      if (me.id() == 0) out = r;
+    });
+    if (first < 0) {
+      first = out.elapsed;
+    } else {
+      EXPECT_NEAR(out.elapsed, first, first * 0.03) << "round " << round;
+    }
+  }
+}
+
+TEST(Stress, TwoHundredFiftySixRanksRealData) {
+  // Full-scale functional run: 256 rank threads (the paper's largest
+  // processor count) with real data, verified.
+  Team team(MachineModel::testing(16, 16));
+  RmaRuntime rma(team);
+  const ProcGrid g = ProcGrid::near_square(256);
+  const index_t n = 64;
+  Matrix a_g = testing::coords_matrix(n, n);
+  Matrix b_g(n, n);
+  fill_random(b_g.view(), 7);
+  Matrix c_ref(n, n);
+  testing::reference_gemm(blas::Trans::No, blas::Trans::No, 1.0, a_g, b_g,
+                          0.0, c_ref);
+  Matrix c_out(n, n);
+  team.run([&](Rank& me) {
+    DistMatrix a(rma, me, n, n, g);
+    DistMatrix b(rma, me, n, n, g);
+    DistMatrix c(rma, me, n, n, g);
+    a.scatter_from(me, a_g.view());
+    b.scatter_from(me, b_g.view());
+    srumma_multiply(me, a, b, c, SrummaOptions{});
+    c.gather_to(me, c_out.view());
+  });
+  EXPECT_LE(max_abs_diff(c_out.view(), c_ref.view()),
+            testing::gemm_tolerance(n));
+}
+
+TEST(Stress, BigTeamManyBarriers) {
+  Team team(MachineModel::sgi_altix(64));
+  RmaRuntime rma(team);
+  team.run([&](Rank& me) {
+    SymmetricRegion r = rma.malloc_symmetric(me, 64);
+    for (int i = 0; i < 20; ++i) {
+      r.base(me.id())[i % 64] = static_cast<double>(i);
+      me.barrier();
+      const int peer = (me.id() + i + 1) % team.size();
+      RmaHandle h = rma.nbget(me, peer, r.base(peer), nullptr, 64);
+      rma.wait(me, h);
+      me.barrier();
+    }
+  });
+}
+
+}  // namespace
+}  // namespace srumma

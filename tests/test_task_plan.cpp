@@ -1,0 +1,273 @@
+// Tests for the SRUMMA task decomposition and ordering: K segmentation,
+// tiling, plan completeness invariants, and the pure ordering policies.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/task_plan.hpp"
+#include "rma/rma.hpp"
+#include "tests/helpers.hpp"
+
+namespace srumma {
+namespace {
+
+TEST(KSegments, AlignedGridsCutAtOwnerBoundaries) {
+  BlockDist1D a(12, 3), b(12, 3);
+  const auto ks = k_segment_bounds(a, b, 0);
+  EXPECT_EQ(ks, (std::vector<index_t>{0, 4, 8, 12}));
+}
+
+TEST(KSegments, MisalignedGridsUnionBoundaries) {
+  BlockDist1D a(12, 3);  // cuts at 0,4,8,12
+  BlockDist1D b(12, 4);  // cuts at 0,3,6,9,12
+  const auto ks = k_segment_bounds(a, b, 0);
+  EXPECT_EQ(ks, (std::vector<index_t>{0, 3, 4, 6, 8, 9, 12}));
+}
+
+TEST(KSegments, ChunkRefinesLongSegments) {
+  BlockDist1D a(10, 1), b(10, 1);
+  const auto ks = k_segment_bounds(a, b, 4);
+  EXPECT_EQ(ks, (std::vector<index_t>{0, 4, 8, 10}));
+}
+
+TEST(KSegments, RemaindersRespected) {
+  BlockDist1D a(7, 2);  // 4 + 3 -> cuts 0,4,7
+  BlockDist1D b(7, 3);  // 3+2+2 -> cuts 0,3,5,7
+  const auto ks = k_segment_bounds(a, b, 0);
+  EXPECT_EQ(ks, (std::vector<index_t>{0, 3, 4, 5, 7}));
+  // Every segment lies within one part of each axis.
+  for (std::size_t s = 0; s + 1 < ks.size(); ++s) {
+    EXPECT_EQ(a.owner(ks[s]), a.owner(ks[s + 1] - 1));
+    EXPECT_EQ(b.owner(ks[s]), b.owner(ks[s + 1] - 1));
+  }
+}
+
+TEST(KSegments, MismatchedTotalsThrow) {
+  BlockDist1D a(10, 2), b(12, 2);
+  EXPECT_THROW(k_segment_bounds(a, b, 0), Error);
+}
+
+TEST(TileBounds, ChunkingAndWhole) {
+  EXPECT_EQ(tile_bounds(10, 0), (std::vector<index_t>{0, 10}));
+  EXPECT_EQ(tile_bounds(10, 4), (std::vector<index_t>{0, 4, 8, 10}));
+  EXPECT_EQ(tile_bounds(0, 4), (std::vector<index_t>{0}));
+}
+
+struct PlanEnv {
+  Team team;
+  RmaRuntime rma;
+  explicit PlanEnv(MachineModel m) : team(std::move(m)), rma(team) {}
+};
+
+// Invariant checks a valid plan must satisfy for any configuration.
+void check_plan_invariants(Rank& me, const TaskPlan& plan, const DistMatrix& c,
+                           index_t k) {
+  // Per C tile, the K segments cover [0, k) exactly once.
+  std::map<std::pair<index_t, index_t>, std::vector<std::pair<index_t, index_t>>>
+      by_tile;
+  for (const Task& t : plan.tasks) {
+    EXPECT_GT(t.cm, 0);
+    EXPECT_GT(t.cn, 0);
+    EXPECT_GT(t.kk, 0);
+    EXPECT_LE(t.ci + t.cm, c.block_rows(me.id()));
+    EXPECT_LE(t.cj + t.cn, c.block_cols(me.id()));
+    by_tile[{t.ci, t.cj}].push_back({t.k0, t.kk});
+  }
+  for (auto& [tile, segs] : by_tile) {
+    std::sort(segs.begin(), segs.end());
+    index_t covered = 0;
+    for (auto [k0, kk] : segs) {
+      EXPECT_EQ(k0, covered) << "gap or overlap in K coverage";
+      covered += kk;
+    }
+    EXPECT_EQ(covered, k);
+  }
+}
+
+TEST(TaskPlan, CoversKExactlyPerTile) {
+  PlanEnv env(MachineModel::testing(2, 2));
+  env.team.run([&](Rank& me) {
+    DistMatrix a(env.rma, me, 13, 17, ProcGrid{2, 2}, true);
+    DistMatrix b(env.rma, me, 17, 9, ProcGrid{2, 2}, true);
+    DistMatrix c(env.rma, me, 13, 9, ProcGrid{2, 2}, true);
+    SrummaOptions opt;
+    TaskPlan plan = build_task_plan(me, a, b, c, opt);
+    check_plan_invariants(me, plan, c, 17);
+  });
+}
+
+TEST(TaskPlan, CoversWithChunkingAndTiling) {
+  PlanEnv env(MachineModel::testing(2, 2));
+  env.team.run([&](Rank& me) {
+    DistMatrix a(env.rma, me, 16, 20, ProcGrid{4, 1}, true);
+    DistMatrix b(env.rma, me, 20, 16, ProcGrid{4, 1}, true);
+    DistMatrix c(env.rma, me, 16, 16, ProcGrid{4, 1}, true);
+    SrummaOptions opt;
+    opt.k_chunk = 3;
+    opt.c_chunk = 5;
+    TaskPlan plan = build_task_plan(me, a, b, c, opt);
+    check_plan_invariants(me, plan, c, 20);
+    for (const Task& t : plan.tasks) EXPECT_LE(t.kk, 3);
+  });
+}
+
+TEST(TaskPlan, TransposedPatchRects) {
+  PlanEnv env(MachineModel::testing(2, 2));
+  env.team.run([&](Rank& me) {
+    // C = A^T B: A stored k x m = 20 x 12, B stored 20 x 8.
+    DistMatrix a(env.rma, me, 20, 12, ProcGrid{2, 2}, true);
+    DistMatrix b(env.rma, me, 20, 8, ProcGrid{2, 2}, true);
+    DistMatrix c(env.rma, me, 12, 8, ProcGrid{2, 2}, true);
+    SrummaOptions opt;
+    opt.ta = blas::Trans::Yes;
+    TaskPlan plan = build_task_plan(me, a, b, c, opt);
+    check_plan_invariants(me, plan, c, 20);
+    for (const Task& t : plan.tasks) {
+      // A patch is (kseg) x (C rows) in stored coordinates.
+      EXPECT_EQ(t.a_m, t.kk);
+      EXPECT_EQ(t.a_n, t.cm);
+      EXPECT_EQ(t.b_m, t.kk);
+      EXPECT_EQ(t.b_n, t.cn);
+    }
+  });
+}
+
+TEST(TaskPlan, NonConformingDimsThrow) {
+  PlanEnv env(MachineModel::testing(2, 1));
+  env.team.run([&](Rank& me) {
+    DistMatrix a(env.rma, me, 4, 5, ProcGrid{2, 1}, true);
+    DistMatrix b(env.rma, me, 6, 4, ProcGrid{2, 1}, true);  // k mismatch
+    DistMatrix c(env.rma, me, 4, 4, ProcGrid{2, 1}, true);
+    EXPECT_THROW((void)build_task_plan(me, a, b, c, SrummaOptions{}), Error);
+  });
+}
+
+TEST(TaskPlan, BufferMaximaCoverAllTasks) {
+  PlanEnv env(MachineModel::testing(2, 2));
+  env.team.run([&](Rank& me) {
+    DistMatrix a(env.rma, me, 30, 14, ProcGrid{4, 1}, true);
+    DistMatrix b(env.rma, me, 14, 22, ProcGrid{4, 1}, true);
+    DistMatrix c(env.rma, me, 30, 22, ProcGrid{4, 1}, true);
+    TaskPlan plan = build_task_plan(me, a, b, c, SrummaOptions{});
+    for (const Task& t : plan.tasks) {
+      EXPECT_LE(t.a_m, plan.max_a_m);
+      EXPECT_LE(t.a_n, plan.max_a_n);
+      EXPECT_LE(t.b_m, plan.max_b_m);
+      EXPECT_LE(t.b_n, plan.max_b_n);
+    }
+  });
+}
+
+// ---- pure ordering tests -------------------------------------------------
+
+Task mk_task(index_t k0, bool a_dom, bool b_dom, int a_col) {
+  Task t;
+  t.cm = t.cn = t.kk = 1;
+  t.k0 = k0;
+  t.a_in_domain = a_dom;
+  t.b_in_domain = b_dom;
+  t.a_owner_col = a_col;
+  return t;
+}
+
+TEST(Ordering, NaiveKeepsGenerationOrder) {
+  std::vector<Task> ts{mk_task(0, false, false, 0), mk_task(1, true, true, 1),
+                       mk_task(2, false, true, 2)};
+  order_tasks(ts, OrderingPolicy::naive(), 0);
+  EXPECT_EQ(ts[0].k0, 0);
+  EXPECT_EQ(ts[1].k0, 1);
+  EXPECT_EQ(ts[2].k0, 2);
+}
+
+TEST(Ordering, ShmFirstStablePartition) {
+  std::vector<Task> ts{mk_task(0, false, false, 0), mk_task(1, true, true, 1),
+                       mk_task(2, false, true, 2), mk_task(3, true, true, 3)};
+  OrderingPolicy p{true, false, false};
+  order_tasks(ts, p, 0);
+  EXPECT_EQ(ts[0].k0, 1);  // shm tasks first, in original relative order
+  EXPECT_EQ(ts[1].k0, 3);
+  EXPECT_EQ(ts[2].k0, 0);  // remote tasks keep relative order
+  EXPECT_EQ(ts[3].k0, 2);
+}
+
+TEST(Ordering, DiagonalShiftRotatesToDiagonalOwner) {
+  std::vector<Task> ts{mk_task(0, false, false, 0), mk_task(1, false, false, 1),
+                       mk_task(2, false, false, 2), mk_task(3, false, false, 3)};
+  OrderingPolicy p{false, true, false};
+  order_tasks(ts, p, 2);
+  EXPECT_EQ(ts[0].a_owner_col, 2);  // starts at the diagonal column
+  EXPECT_EQ(ts[1].a_owner_col, 3);  // cyclic order preserved
+  EXPECT_EQ(ts[2].a_owner_col, 0);
+  EXPECT_EQ(ts[3].a_owner_col, 1);
+}
+
+TEST(Ordering, DiagonalShiftOnlyTouchesRemoteRun) {
+  std::vector<Task> ts{mk_task(0, true, true, 0), mk_task(1, false, false, 1),
+                       mk_task(2, false, false, 2)};
+  OrderingPolicy p{true, true, false};
+  order_tasks(ts, p, 2);
+  EXPECT_TRUE(ts[0].in_domain());      // shm task stays in front
+  EXPECT_EQ(ts[1].a_owner_col, 2);     // remote run rotated
+  EXPECT_EQ(ts[2].a_owner_col, 1);
+}
+
+TEST(Ordering, MissingDiagonalColumnLeavesOrder) {
+  std::vector<Task> ts{mk_task(0, false, false, 0), mk_task(1, false, false, 1)};
+  OrderingPolicy p{false, true, false};
+  order_tasks(ts, p, 7);  // no such column
+  EXPECT_EQ(ts[0].k0, 0);
+  EXPECT_EQ(ts[1].k0, 1);
+}
+
+TEST(Ordering, PermutationPreserved) {
+  // Whatever the policy, ordering must be a permutation of the input.
+  std::vector<Task> ts;
+  for (index_t i = 0; i < 20; ++i)
+    ts.push_back(mk_task(i, i % 3 == 0, i % 2 == 0, static_cast<int>(i % 4)));
+  order_tasks(ts, OrderingPolicy::full(), 1);
+  std::set<index_t> seen;
+  for (const Task& t : ts) seen.insert(t.k0);
+  EXPECT_EQ(seen.size(), 20u);
+  // shm-first property holds.
+  bool seen_remote = false;
+  for (const Task& t : ts) {
+    if (!t.in_domain()) seen_remote = true;
+    if (t.in_domain()) {
+      EXPECT_FALSE(seen_remote) << "shm task after remote";
+    }
+  }
+}
+
+TEST(Ordering, AReuseGroupsConsecutiveAPatches) {
+  PlanEnv env(MachineModel::testing(1, 1));
+  env.team.run([&](Rank& me) {
+    DistMatrix a(env.rma, me, 8, 8, ProcGrid{1, 1}, true);
+    DistMatrix b(env.rma, me, 8, 8, ProcGrid{1, 1}, true);
+    DistMatrix c(env.rma, me, 8, 8, ProcGrid{1, 1}, true);
+    SrummaOptions opt;
+    opt.c_chunk = 4;  // 2x2 tiles
+    opt.k_chunk = 4;  // 2 segments
+    opt.ordering = OrderingPolicy::full();
+    TaskPlan plan = build_task_plan(me, a, b, c, opt);
+    ASSERT_EQ(plan.tasks.size(), 8u);
+    // Count A-patch switches: with (ci, k, cj) nesting each (ci,k) pair's
+    // tasks are adjacent -> 4 groups -> 3 switches (plus possibly 1 from the
+    // diagonal rotation split).
+    int switches = 0;
+    for (std::size_t i = 1; i < plan.tasks.size(); ++i)
+      if (!plan.tasks[i].same_a_patch(plan.tasks[i - 1])) ++switches;
+    EXPECT_LE(switches, 4);
+    // Without reuse nesting, every adjacent pair differs in A.
+    SrummaOptions naive = opt;
+    naive.ordering = OrderingPolicy::naive();
+    TaskPlan nplan = build_task_plan(me, a, b, c, naive);
+    int nswitches = 0;
+    for (std::size_t i = 1; i < nplan.tasks.size(); ++i)
+      if (!nplan.tasks[i].same_a_patch(nplan.tasks[i - 1])) ++nswitches;
+    EXPECT_GT(nswitches, switches);
+  });
+}
+
+}  // namespace
+}  // namespace srumma

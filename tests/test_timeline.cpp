@@ -1,0 +1,167 @@
+// Tests for the opt-in event timeline: recording hooks, Gantt rendering,
+// CSV output, and the off-by-default guarantee.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/srumma.hpp"
+#include "rma/rma.hpp"
+#include "tests/helpers.hpp"
+#include "vtime/timeline.hpp"
+
+namespace srumma {
+namespace {
+
+TEST(Timeline, OffByDefault) {
+  Team team(MachineModel::testing(2, 1));
+  EXPECT_EQ(team.timeline(), nullptr);
+  team.run([](Rank& me) { me.charge_gemm(32, 32, 32); });
+  EXPECT_EQ(team.timeline(), nullptr);
+}
+
+TEST(Timeline, RecordsComputeGetWaitBarrier) {
+  Team team(MachineModel::testing(2, 1));
+  team.enable_timeline();
+  RmaRuntime rma(team);
+  team.run([&](Rank& me) {
+    SymmetricRegion r = rma.malloc_symmetric(me, 4096);
+    me.barrier();
+    me.charge_gemm(64, 64, 64);
+    if (me.id() == 0) {
+      RmaHandle h = rma.nbget(me, 1, r.base(1), nullptr, 4096);
+      rma.wait(me, h);  // remote transfer: wait is non-trivial
+    }
+    me.barrier();
+  });
+  ASSERT_NE(team.timeline(), nullptr);
+  const auto& ev0 = team.timeline()->events(0);
+  bool has_compute = false, has_wait = false;
+  for (const auto& e : ev0) {
+    EXPECT_LT(e.t0, e.t1);  // spans are well-formed
+    has_compute |= e.kind == EventKind::Compute;
+    has_wait |= e.kind == EventKind::Wait;
+  }
+  EXPECT_TRUE(has_compute);
+  EXPECT_TRUE(has_wait);
+  // Rank 1 idled into the final barrier: must show a Barrier span.
+  bool has_barrier = false;
+  for (const auto& e : team.timeline()->events(1))
+    has_barrier |= e.kind == EventKind::Barrier;
+  EXPECT_TRUE(has_barrier);
+}
+
+TEST(Timeline, GetSpanRecordedAtIssue) {
+  // The Get span covers issue -> modeled completion (the overlap window),
+  // not the wait.
+  Team team(MachineModel::testing(2, 1));
+  team.enable_timeline();
+  RmaRuntime rma(team);
+  team.run([&](Rank& me) {
+    me.barrier();
+    if (me.id() == 0) {
+      Matrix dst(64, 64);
+      SymmetricRegion r = rma.malloc_symmetric(me, 64 * 64);
+      RmaHandle h = rma.nbget2d(me, 1, r.base(1), 64, 64, 64, dst.data(), 64);
+      rma.wait(me, h);
+    } else {
+      (void)rma.malloc_symmetric(me, 64 * 64);
+    }
+  });
+  bool has_get = false;
+  for (const auto& e : team.timeline()->events(0)) {
+    if (e.kind == EventKind::Get) {
+      has_get = true;
+      EXPECT_GT(e.t1 - e.t0, team.machine().net_latency * 0.9);
+    }
+  }
+  EXPECT_TRUE(has_get);
+}
+
+TEST(Timeline, ClearedByTeamReset) {
+  Team team(MachineModel::testing(1, 1));
+  team.enable_timeline();
+  team.run([](Rank& me) { me.charge_gemm(16, 16, 16); });
+  EXPECT_FALSE(team.timeline()->events(0).empty());
+  team.reset();
+  EXPECT_NE(team.timeline(), nullptr);  // still enabled
+  EXPECT_TRUE(team.timeline()->events(0).empty());
+}
+
+TEST(Timeline, GanttRendersDominantKinds) {
+  Timeline tl(2);
+  tl.record(0, EventKind::Compute, 0.0, 0.6);
+  tl.record(0, EventKind::Wait, 0.6, 1.0);
+  tl.record(1, EventKind::Get, 0.0, 1.0);
+  std::ostringstream os;
+  tl.print_gantt(os, 0.0, 1.0, 10, 16);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("CCCCCC"), std::string::npos);
+  EXPECT_NE(s.find("WWW"), std::string::npos);
+  EXPECT_NE(s.find("GGGGGGGGGG"), std::string::npos);
+}
+
+TEST(Timeline, GanttAutoRangeAndIdle) {
+  Timeline tl(1);
+  tl.record(0, EventKind::Compute, 1.0, 2.0);
+  std::ostringstream os;
+  tl.print_gantt(os, 0.0, 0.0, 20, 16);  // auto range [0, 2]
+  const std::string s = os.str();
+  EXPECT_NE(s.find(".........."), std::string::npos);  // first half idle
+  EXPECT_NE(s.find("CCCCCCCCC"), std::string::npos);
+}
+
+TEST(Timeline, GanttCapsRanks) {
+  Timeline tl(40);
+  for (int r = 0; r < 40; ++r) tl.record(r, EventKind::Compute, 0, 1);
+  std::ostringstream os;
+  tl.print_gantt(os, 0, 1, 20, 8);
+  EXPECT_NE(os.str().find("32 more ranks not shown"), std::string::npos);
+}
+
+TEST(Timeline, CsvRoundTrips) {
+  Timeline tl(2);
+  tl.record(1, EventKind::Put, 0.5, 0.75);
+  std::ostringstream os;
+  tl.write_csv(os);
+  EXPECT_NE(os.str().find("rank,kind,start,end"), std::string::npos);
+  EXPECT_NE(os.str().find("1,P,0.5,0.75"), std::string::npos);
+}
+
+TEST(Timeline, ZeroLengthSpansDropped) {
+  Timeline tl(1);
+  tl.record(0, EventKind::Wait, 1.0, 1.0);
+  EXPECT_TRUE(tl.events(0).empty());
+  EXPECT_THROW(tl.record(5, EventKind::Wait, 0, 1), Error);
+}
+
+TEST(Timeline, SrummaPipelineShowsOverlap) {
+  // On a cluster run, gets must overlap compute: rank 0's Get spans overlap
+  // its Compute spans in virtual time (that is the whole point).
+  Team team(MachineModel::linux_myrinet(4));
+  team.enable_timeline();
+  RmaRuntime rma(team);
+  const ProcGrid g = ProcGrid::near_square(8);
+  team.run([&](Rank& me) {
+    DistMatrix a(rma, me, 1024, 1024, g, true);
+    DistMatrix b(rma, me, 1024, 1024, g, true);
+    DistMatrix c(rma, me, 1024, 1024, g, true);
+    srumma_multiply(me, a, b, c, SrummaOptions{});
+  });
+  const auto& ev = team.timeline()->events(0);
+  bool overlapped = false;
+  for (const auto& get : ev) {
+    if (get.kind != EventKind::Get) continue;
+    for (const auto& cmp : ev) {
+      if (cmp.kind != EventKind::Compute) continue;
+      if (get.t0 < cmp.t1 && cmp.t0 < get.t1) {
+        overlapped = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(overlapped);
+}
+
+}  // namespace
+}  // namespace srumma
