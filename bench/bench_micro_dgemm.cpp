@@ -1,11 +1,19 @@
 // Micro-benchmark (google-benchmark): the real serial dgemm kernels that
-// back the numerics — blocked vs naive, plus transposed variants.  These
-// run actual floating-point work on this host (they are the one bench not
-// in virtual time).
+// back the numerics — every registered micro-kernel, blocked vs naive, plus
+// transposed variants.  These run actual floating-point work on this host
+// (they are the one bench not in virtual time).
+//
+// "BM_GemmBlocked" exercises whatever kernel dispatch selected (honouring
+// SRUMMA_GEMM_KERNEL); the dynamically registered "BM_GemmKernel/<name>/<n>"
+// series pins each supported kernel in turn so they can be compared in one
+// run.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "blas/gemm.hpp"
+#include "blas/kernel.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -13,6 +21,7 @@ namespace {
 
 using srumma::index_t;
 using srumma::Matrix;
+using srumma::blas::GemmKernel;
 using srumma::blas::Trans;
 
 void setup(index_t n, Matrix& a, Matrix& b, Matrix& c) {
@@ -21,6 +30,11 @@ void setup(index_t n, Matrix& a, Matrix& b, Matrix& c) {
   c = Matrix(n, n);
   srumma::fill_random(a.view(), 1);
   srumma::fill_random(b.view(), 2);
+}
+
+void set_gflops(benchmark::State& state, double flops_per_iter) {
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops_per_iter * state.iterations() / 1e9, benchmark::Counter::kIsRate);
 }
 
 void BM_GemmBlocked(benchmark::State& state) {
@@ -32,9 +46,8 @@ void BM_GemmBlocked(benchmark::State& state) {
                                n, b.data(), n, 0.0, c.data(), n);
     benchmark::DoNotOptimize(c.data());
   }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      2.0 * static_cast<double>(n) * n * n * state.iterations() / 1e9,
-      benchmark::Counter::kIsRate);
+  state.SetLabel(srumma::blas::active_kernel().name);
+  set_gflops(state, 2.0 * static_cast<double>(n) * n * n);
 }
 BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
@@ -47,9 +60,7 @@ void BM_GemmNaive(benchmark::State& state) {
                              b.data(), n, 0.0, c.data(), n);
     benchmark::DoNotOptimize(c.data());
   }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      2.0 * static_cast<double>(n) * n * n * state.iterations() / 1e9,
-      benchmark::Counter::kIsRate);
+  set_gflops(state, 2.0 * static_cast<double>(n) * n * n);
 }
 BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
 
@@ -62,9 +73,7 @@ void BM_GemmBlockedTransposed(benchmark::State& state) {
                                n, b.data(), n, 0.0, c.data(), n);
     benchmark::DoNotOptimize(c.data());
   }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      2.0 * static_cast<double>(n) * n * n * state.iterations() / 1e9,
-      benchmark::Counter::kIsRate);
+  set_gflops(state, 2.0 * static_cast<double>(n) * n * n);
 }
 BENCHMARK(BM_GemmBlockedTransposed)->Arg(128)->Arg(256);
 
@@ -80,12 +89,43 @@ void BM_GemmPanel(benchmark::State& state) {
                                m, b.data(), k, 1.0, c.data(), m);
     benchmark::DoNotOptimize(c.data());
   }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      2.0 * static_cast<double>(m) * m * k * state.iterations() / 1e9,
-      benchmark::Counter::kIsRate);
+  set_gflops(state, 2.0 * static_cast<double>(m) * m * k);
 }
 BENCHMARK(BM_GemmPanel)->Args({256, 64})->Args({256, 128})->Args({512, 128});
 
+// One square-gemm series per registered kernel, pinned explicitly so a
+// single run reports scalar vs portable vs avx2 side by side.
+void BM_GemmKernel(benchmark::State& state, const GemmKernel* kern) {
+  const index_t n = state.range(0);
+  Matrix a, b, c;
+  setup(n, a, b, c);
+  for (auto _ : state) {
+    srumma::blas::gemm_blocked_with(*kern, Trans::No, Trans::No, n, n, n, 1.0,
+                                    a.data(), n, b.data(), n, 0.0, c.data(),
+                                    n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gflops(state, 2.0 * static_cast<double>(n) * n * n);
+}
+
+void register_per_kernel_benches() {
+  for (const GemmKernel* kern : srumma::blas::kernel_registry()) {
+    if (!kern->supported()) continue;
+    const std::string name = "BM_GemmKernel/" + std::string(kern->name);
+    benchmark::RegisterBenchmark(name.c_str(), BM_GemmKernel, kern)
+        ->Arg(256)
+        ->Arg(512)
+        ->Arg(1024);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_per_kernel_benches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "blas/gemm.hpp"
+#include "blas/kernel.hpp"
 #include "core/srumma.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -20,9 +21,20 @@ int main(int argc, char** argv) {
   CliParser cli;
   cli.add_flag("n", "256", "matrix size (N x N)");
   cli.add_flag("nodes", "4", "number of 2-way SMP nodes to simulate");
+  std::vector<std::string> kernels{"auto"};
+  for (const blas::GemmKernel* k : blas::kernel_registry())
+    kernels.push_back(k->name);
+  cli.add_choice_flag("gemm-kernel", "auto", kernels,
+                      "serial dgemm micro-kernel to pin (auto = best "
+                      "supported; also settable via SRUMMA_GEMM_KERNEL)");
   if (!cli.parse(argc, argv)) return 0;
   const index_t n = cli.get_int("n");
   const int nodes = static_cast<int>(cli.get_int("nodes"));
+  // Only pin on an explicit request: the "auto" default must not override
+  // an SRUMMA_GEMM_KERNEL environment pin (first use resolves it).
+  if (cli.get("gemm-kernel") != "auto")
+    blas::set_active_kernel(cli.get("gemm-kernel"));
+  std::printf("serial dgemm kernel: %s\n", blas::active_kernel().name);
 
   // 1. Pick a machine: a Linux/Myrinet-2000 cluster of dual-CPU nodes.
   Team team(MachineModel::linux_myrinet(nodes));

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification wrapper:
+#   1. configure + build + full ctest suite (Release), and
+#   2. an ASan/UBSan build of the library + kernel-verification harness,
+#      running test_gemm_kernels under the sanitizers.
+#
+# Usage: scripts/check.sh [build-dir] [asan-build-dir]
+# Exits non-zero on the first failure.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="${1:-$repo/build}"
+asan_build="${2:-$repo/build-asan}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier 1: configure + build + ctest ($build) =="
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j "$jobs"
+ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+echo
+echo "== tier 1b: kernel harness under ASan/UBSan ($asan_build) =="
+cmake -B "$asan_build" -S "$repo" \
+  -DSRUMMA_SANITIZE=address,undefined \
+  -DSRUMMA_BUILD_BENCH=OFF \
+  -DSRUMMA_BUILD_EXAMPLES=OFF
+cmake --build "$asan_build" -j "$jobs" --target test_gemm_kernels
+ctest --test-dir "$asan_build" --output-on-failure -R '^test_gemm_kernels$'
+
+echo
+echo "check.sh: all green"

@@ -5,7 +5,10 @@
 // paper links against: the serial building block every parallel algorithm
 // calls per block product.  Two implementations are provided:
 //   * gemm_naive   — straightforward triple loop; the correctness oracle.
-//   * gemm_blocked — cache-blocked, packed-panel kernel; the default.
+//   * gemm_blocked — cache-blocked, packed-panel driver; the default.  Its
+//     register-tile micro-kernel is selected at runtime from the kernel
+//     registry (scalar / portable / avx2 — see blas/kernel.hpp), pinnable
+//     via the SRUMMA_GEMM_KERNEL environment variable.
 // Both follow BLAS semantics: C = alpha*op(A)*op(B) + beta*C with
 // column-major storage and explicit leading dimensions.
 
@@ -45,5 +48,26 @@ void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
 [[nodiscard]] inline index_t op_cols(Trans t, ConstMatrixView x) {
   return t == Trans::No ? x.cols() : x.rows();
 }
+
+namespace detail {
+/// BLAS-style argument checking shared by every gemm entry point.  The
+/// lda/ldb lower bounds are checked against the *stored* operand heights
+/// (m or k for A, k or n for B depending on the op), but only when that
+/// operand is non-empty, so degenerate calls (k == 0 with null operand
+/// pointers) remain legal no-ops that just apply beta.
+inline void check_gemm_args(Trans ta, Trans tb, index_t m, index_t n,
+                            index_t k, index_t lda, index_t ldb, index_t ldc) {
+  SRUMMA_REQUIRE(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
+  SRUMMA_REQUIRE(ldc >= (m > 0 ? m : 1), "gemm: ldc too small");
+  const index_t a_rows = ta == Trans::No ? m : k;
+  const index_t b_rows = tb == Trans::No ? k : n;
+  if (m > 0 && k > 0) {
+    SRUMMA_REQUIRE(lda >= a_rows, "gemm: lda too small for stored op(A)");
+  }
+  if (n > 0 && k > 0) {
+    SRUMMA_REQUIRE(ldb >= b_rows, "gemm: ldb too small for stored op(B)");
+  }
+}
+}  // namespace detail
 
 }  // namespace srumma::blas

@@ -2,93 +2,87 @@
 #include <cstring>
 
 #include "blas/gemm.hpp"
+#include "blas/kernel.hpp"
 #include "util/aligned.hpp"
 
-// Cache-blocked dgemm following the Goto/BLIS decomposition:
-//   jc-loop over N by kNc  -> pack B panel (kc x nc) into Bp
-//   pc-loop over K by kKc
-//   ic-loop over M by kMc  -> pack A panel (mc x kc) into Ap (alpha folded in)
-//   macro kernel: kMr x kNr register tiles with the k-loop innermost region
-//   packed so every load is unit-stride.
-// Transposition is applied during packing, so the kernel itself only ever
-// sees the non-transposed layout.
+// Cache-blocked dgemm driver following the Goto/BLIS decomposition:
+//   jc-loop over N by nc  -> pack B panel (kc x nc) into Bp
+//   pc-loop over K by kc
+//   ic-loop over M by mc  -> pack A panel (mc x kc) into Ap (alpha folded in)
+//   macro kernel: mr x nr register tiles with the k-loop innermost; panels
+//   are packed so every kernel load is unit-stride.
+// Transposition is applied during packing, so kernels only ever see the
+// non-transposed layout.  The register tile, its micro-kernel and the
+// blocking constants come from the dispatched GemmKernel (kernel.hpp);
+// full tiles run the kernel's SIMD path, tails take the edge path and skip
+// the dead padded lanes entirely.
 
 namespace srumma::blas {
 
 namespace {
 
-constexpr index_t kMc = 128;
-constexpr index_t kKc = 256;
-constexpr index_t kNc = 1024;
-constexpr index_t kMr = 8;
-constexpr index_t kNr = 4;
+// Grow-only, per-thread packing workspace.  Capacity is derived from what
+// the *current* problem needs (not the kernel's worst-case mc*kc / kc*nc
+// panels), so a stream of small gemms never touches — or allocates — the
+// full panel footprint.  reset_pack_buffers() releases the storage.
+thread_local AlignedVector<double> ap_buf;
+thread_local AlignedVector<double> bp_buf;
 
-// Pack op(A)[ic:ic+mc, pc:pc+kc] into Ap as mr-wide row panels:
-// Ap holds ceil(mc/mr) panels, each kc columns of mr contiguous rows,
-// zero-padded to mr.  alpha is folded in here (once per element).
+[[nodiscard]] constexpr index_t round_up(index_t x, index_t step) {
+  return ((x + step - 1) / step) * step;
+}
+
+// Pack op(A)[ic:ic+mc, pc:pc+kc] into Ap as mr-wide row panels: ceil(mc/mr)
+// panels, each kc columns of mr contiguous rows, alpha folded in (once per
+// element).  Rows past the live extent of the tail panel are left unpacked;
+// the driver routes that panel to the edge kernel, which never reads them.
 void pack_a(Trans ta, const double* a, index_t lda, index_t ic, index_t pc,
-            index_t mc, index_t kc, double alpha, double* ap) {
-  for (index_t i0 = 0; i0 < mc; i0 += kMr) {
-    const index_t mr = std::min(kMr, mc - i0);
+            index_t mc, index_t kc, double alpha, index_t kmr, double* ap) {
+  for (index_t i0 = 0; i0 < mc; i0 += kmr) {
+    const index_t mr = std::min(kmr, mc - i0);
     for (index_t p = 0; p < kc; ++p) {
       for (index_t r = 0; r < mr; ++r) {
         const index_t gi = ic + i0 + r;
         const index_t gp = pc + p;
         const double v =
             ta == Trans::No ? a[gi + gp * lda] : a[gp + gi * lda];
-        ap[p * kMr + r] = alpha * v;
+        ap[p * kmr + r] = alpha * v;
       }
-      for (index_t r = mr; r < kMr; ++r) ap[p * kMr + r] = 0.0;
     }
-    ap += kc * kMr;
+    ap += kc * kmr;
   }
 }
 
 // Pack op(B)[pc:pc+kc, jc:jc+nc] into Bp as nr-wide column panels:
-// Bp holds ceil(nc/nr) panels, each kc rows of nr contiguous columns,
-// zero-padded to nr.
+// ceil(nc/nr) panels, each kc rows of nr contiguous columns; the tail
+// panel's dead columns stay unpacked (edge path only).
 void pack_b(Trans tb, const double* b, index_t ldb, index_t pc, index_t jc,
-            index_t kc, index_t nc, double* bp) {
-  for (index_t j0 = 0; j0 < nc; j0 += kNr) {
-    const index_t nr = std::min(kNr, nc - j0);
+            index_t kc, index_t nc, index_t knr, double* bp) {
+  for (index_t j0 = 0; j0 < nc; j0 += knr) {
+    const index_t nr = std::min(knr, nc - j0);
     for (index_t p = 0; p < kc; ++p) {
       for (index_t s = 0; s < nr; ++s) {
         const index_t gp = pc + p;
         const index_t gj = jc + j0 + s;
-        bp[p * kNr + s] =
+        bp[p * knr + s] =
             tb == Trans::No ? b[gp + gj * ldb] : b[gj + gp * ldb];
       }
-      for (index_t s = nr; s < kNr; ++s) bp[p * kNr + s] = 0.0;
     }
-    bp += kc * kNr;
+    bp += kc * knr;
   }
 }
 
-// C[.. mr x nr ..] += Ap_panel * Bp_panel for one register tile.
-// acc is kept in locals so the compiler can hold it in registers and
-// vectorize the p-loop body.
-inline void micro_kernel(index_t kc, const double* ap, const double* bp,
-                         double* c, index_t ldc, index_t mr, index_t nr) {
-  double acc[kMr][kNr] = {};
-  for (index_t p = 0; p < kc; ++p) {
-    const double* av = ap + p * kMr;
-    const double* bv = bp + p * kNr;
-    for (index_t s = 0; s < kNr; ++s) {
-      const double bsv = bv[s];
-      for (index_t r = 0; r < kMr; ++r) acc[r][s] += av[r] * bsv;
-    }
-  }
-  for (index_t s = 0; s < nr; ++s)
-    for (index_t r = 0; r < mr; ++r) c[r + s * ldc] += acc[r][s];
+void ensure_capacity(AlignedVector<double>& buf, std::size_t need) {
+  if (buf.size() < need) buf.resize(need);
 }
 
 }  // namespace
 
-void gemm_blocked(Trans ta, Trans tb, index_t m, index_t n, index_t k,
-                  double alpha, const double* a, index_t lda, const double* b,
-                  index_t ldb, double beta, double* c, index_t ldc) {
-  SRUMMA_REQUIRE(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
-  SRUMMA_REQUIRE(ldc >= (m > 0 ? m : 1), "gemm: ldc too small");
+void gemm_blocked_with(const GemmKernel& kern, Trans ta, Trans tb, index_t m,
+                       index_t n, index_t k, double alpha, const double* a,
+                       index_t lda, const double* b, index_t ldb, double beta,
+                       double* c, index_t ldc) {
+  detail::check_gemm_args(ta, tb, m, n, k, lda, ldb, ldc);
 
   // Apply beta once, up front.
   if (beta != 1.0) {
@@ -103,33 +97,62 @@ void gemm_blocked(Trans ta, Trans tb, index_t m, index_t n, index_t k,
   }
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
 
-  thread_local AlignedVector<double> ap_buf;
-  thread_local AlignedVector<double> bp_buf;
-  ap_buf.resize(static_cast<std::size_t>(((kMc + kMr - 1) / kMr) * kMr * kKc));
-  bp_buf.resize(static_cast<std::size_t>(kKc * ((kNc + kNr - 1) / kNr) * kNr));
+  const index_t kmc = kern.mc;
+  const index_t kkc = kern.kc;
+  const index_t knc = kern.nc;
+  const index_t kmr = kern.mr;
+  const index_t knr = kern.nr;
 
-  for (index_t jc = 0; jc < n; jc += kNc) {
-    const index_t nc = std::min(kNc, n - jc);
-    for (index_t pc = 0; pc < k; pc += kKc) {
-      const index_t kc = std::min(kKc, k - pc);
-      pack_b(tb, b, ldb, pc, jc, kc, nc, bp_buf.data());
-      for (index_t ic = 0; ic < m; ic += kMc) {
-        const index_t mc = std::min(kMc, m - ic);
-        pack_a(ta, a, lda, ic, pc, mc, kc, alpha, ap_buf.data());
+  // Workspace sized to this problem, capped by the kernel's panel bounds.
+  const index_t a_need = std::min(round_up(m, kmr), round_up(kmc, kmr)) *
+                         std::min(k, kkc);
+  const index_t b_need = std::min(k, kkc) *
+                         std::min(round_up(n, knr), round_up(knc, knr));
+  ensure_capacity(ap_buf, static_cast<std::size_t>(a_need));
+  ensure_capacity(bp_buf, static_cast<std::size_t>(b_need));
+
+  for (index_t jc = 0; jc < n; jc += knc) {
+    const index_t nc = std::min(knc, n - jc);
+    for (index_t pc = 0; pc < k; pc += kkc) {
+      const index_t kc = std::min(kkc, k - pc);
+      pack_b(tb, b, ldb, pc, jc, kc, nc, knr, bp_buf.data());
+      for (index_t ic = 0; ic < m; ic += kmc) {
+        const index_t mc = std::min(kmc, m - ic);
+        pack_a(ta, a, lda, ic, pc, mc, kc, alpha, kmr, ap_buf.data());
         // Macro kernel over register tiles of the packed panels.
-        for (index_t j0 = 0; j0 < nc; j0 += kNr) {
-          const index_t nr = std::min(kNr, nc - j0);
-          const double* bp = bp_buf.data() + (j0 / kNr) * kc * kNr;
-          for (index_t i0 = 0; i0 < mc; i0 += kMr) {
-            const index_t mr = std::min(kMr, mc - i0);
-            const double* ap = ap_buf.data() + (i0 / kMr) * kc * kMr;
-            micro_kernel(kc, ap, bp, c + (ic + i0) + (jc + j0) * ldc, ldc, mr,
-                         nr);
+        for (index_t j0 = 0; j0 < nc; j0 += knr) {
+          const index_t nr = std::min(knr, nc - j0);
+          const double* bp = bp_buf.data() + (j0 / knr) * kc * knr;
+          for (index_t i0 = 0; i0 < mc; i0 += kmr) {
+            const index_t mr = std::min(kmr, mc - i0);
+            const double* ap = ap_buf.data() + (i0 / kmr) * kc * kmr;
+            double* ct = c + (ic + i0) + (jc + j0) * ldc;
+            if (mr == kmr && nr == knr) {
+              kern.full(kc, ap, bp, ct, ldc);
+            } else {
+              kern.edge(kc, ap, bp, ct, ldc, mr, nr);
+            }
           }
         }
       }
     }
   }
+}
+
+std::size_t pack_buffer_bytes() {
+  return (ap_buf.capacity() + bp_buf.capacity()) * sizeof(double);
+}
+
+void reset_pack_buffers() {
+  ap_buf = AlignedVector<double>{};
+  bp_buf = AlignedVector<double>{};
+}
+
+void gemm_blocked(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                  double alpha, const double* a, index_t lda, const double* b,
+                  index_t ldb, double beta, double* c, index_t ldc) {
+  gemm_blocked_with(active_kernel(), ta, tb, m, n, k, alpha, a, lda, b, ldb,
+                    beta, c, ldc);
 }
 
 void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k, double alpha,

@@ -12,8 +12,7 @@ inline double at(Trans t, const double* x, index_t ldx, index_t i, index_t p) {
 void gemm_naive(Trans ta, Trans tb, index_t m, index_t n, index_t k,
                 double alpha, const double* a, index_t lda, const double* b,
                 index_t ldb, double beta, double* c, index_t ldc) {
-  SRUMMA_REQUIRE(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
-  SRUMMA_REQUIRE(ldc >= (m > 0 ? m : 1), "gemm: ldc too small");
+  detail::check_gemm_args(ta, tb, m, n, k, lda, ldb, ldc);
   for (index_t j = 0; j < n; ++j) {
     for (index_t i = 0; i < m; ++i) {
       double acc = 0.0;

@@ -1,0 +1,117 @@
+// AVX2/FMA 8x6 micro-kernel.  This TU is the only one compiled with
+// -mavx2 -mfma (see src/blas/CMakeLists.txt); the registry consults
+// supported() before ever dispatching here, so the binary stays runnable
+// on CPUs without AVX2.
+//
+// Register budget (16 ymm): 12 accumulators (2 ymm per column x 6 columns)
+// + 2 for the A column + broadcasts, the classic FMA-bound 8x6 tile.  A
+// panels are packed 8 doubles per k step (64 bytes), so A loads are
+// aligned; B is read via broadcasts where alignment is irrelevant.
+
+#include "blas/kernel.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace srumma::blas::detail {
+
+// Declared here (not in kernel.hpp) so translation units of the library
+// can reference the kernel only when it is compiled in.
+const GemmKernel& avx2_kernel();
+
+namespace {
+
+constexpr index_t kMr = 8;
+constexpr index_t kNr = 6;
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+void avx2_full(index_t kc, const double* ap, const double* bp, double* c,
+               index_t ldc) {
+  // Named accumulators, not arrays: with `__m256d acc[6]` GCC keeps the
+  // array live on the stack and mirrors every FMA result back to memory
+  // (12 extra stores per k step), halving throughput.
+  __m256d c0l = _mm256_setzero_pd(), c0h = _mm256_setzero_pd();
+  __m256d c1l = _mm256_setzero_pd(), c1h = _mm256_setzero_pd();
+  __m256d c2l = _mm256_setzero_pd(), c2h = _mm256_setzero_pd();
+  __m256d c3l = _mm256_setzero_pd(), c3h = _mm256_setzero_pd();
+  __m256d c4l = _mm256_setzero_pd(), c4h = _mm256_setzero_pd();
+  __m256d c5l = _mm256_setzero_pd(), c5h = _mm256_setzero_pd();
+  for (index_t p = 0; p < kc; ++p, ap += kMr, bp += kNr) {
+    const __m256d a_lo = _mm256_load_pd(ap);
+    const __m256d a_hi = _mm256_load_pd(ap + 4);
+    __m256d bs = _mm256_broadcast_sd(bp + 0);
+    c0l = _mm256_fmadd_pd(a_lo, bs, c0l);
+    c0h = _mm256_fmadd_pd(a_hi, bs, c0h);
+    bs = _mm256_broadcast_sd(bp + 1);
+    c1l = _mm256_fmadd_pd(a_lo, bs, c1l);
+    c1h = _mm256_fmadd_pd(a_hi, bs, c1h);
+    bs = _mm256_broadcast_sd(bp + 2);
+    c2l = _mm256_fmadd_pd(a_lo, bs, c2l);
+    c2h = _mm256_fmadd_pd(a_hi, bs, c2h);
+    bs = _mm256_broadcast_sd(bp + 3);
+    c3l = _mm256_fmadd_pd(a_lo, bs, c3l);
+    c3h = _mm256_fmadd_pd(a_hi, bs, c3h);
+    bs = _mm256_broadcast_sd(bp + 4);
+    c4l = _mm256_fmadd_pd(a_lo, bs, c4l);
+    c4h = _mm256_fmadd_pd(a_hi, bs, c4h);
+    bs = _mm256_broadcast_sd(bp + 5);
+    c5l = _mm256_fmadd_pd(a_lo, bs, c5l);
+    c5h = _mm256_fmadd_pd(a_hi, bs, c5h);
+  }
+  const __m256d acc_lo[kNr] = {c0l, c1l, c2l, c3l, c4l, c5l};
+  const __m256d acc_hi[kNr] = {c0h, c1h, c2h, c3h, c4h, c5h};
+  for (index_t s = 0; s < kNr; ++s) {
+    double* cs = c + s * ldc;
+    _mm256_storeu_pd(cs, _mm256_add_pd(_mm256_loadu_pd(cs), acc_lo[s]));
+    _mm256_storeu_pd(cs + 4, _mm256_add_pd(_mm256_loadu_pd(cs + 4), acc_hi[s]));
+  }
+}
+
+#endif  // __AVX2__ && __FMA__
+
+// Tails are latency-bound scalar work either way; keep them simple.  The
+// compiler still contracts the multiply-adds to FMAs in this TU.
+void avx2_edge(index_t kc, const double* ap, const double* bp, double* c,
+               index_t ldc, index_t mr_eff, index_t nr_eff) {
+  double acc[kMr][kNr] = {};
+  for (index_t p = 0; p < kc; ++p, ap += kMr, bp += kNr) {
+    for (index_t s = 0; s < nr_eff; ++s) {
+      const double bs = bp[s];
+      for (index_t r = 0; r < mr_eff; ++r) acc[r][s] += ap[r] * bs;
+    }
+  }
+  for (index_t s = 0; s < nr_eff; ++s)
+    for (index_t r = 0; r < mr_eff; ++r) c[r + s * ldc] += acc[r][s];
+}
+
+bool avx2_supported() {
+#if defined(__AVX2__) && defined(__FMA__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const GemmKernel& avx2_kernel() {
+  static const GemmKernel k{"avx2",
+                            kMr,
+                            kNr,
+                            /*mc=*/128,
+                            /*kc=*/256,
+                            /*nc=*/1020,
+#if defined(__AVX2__) && defined(__FMA__)
+                            avx2_full,
+#else
+                            nullptr,
+#endif
+                            avx2_edge,
+                            avx2_supported,
+                            /*priority=*/100};
+  return k;
+}
+
+}  // namespace srumma::blas::detail

@@ -1,0 +1,62 @@
+// Scalar 8x4 micro-kernel: the seed implementation, kept as the always-
+// available fallback and the bit-exact numerical baseline.  The accumulator
+// lives in locals so the compiler can hold it in registers; no SIMD
+// intrinsics, no ISA assumptions beyond plain doubles.
+//
+// SRUMMA_GEMM_KERNEL=scalar must reproduce the pre-dispatch results
+// bit-for-bit, so the floating-point operation order here (p outermost,
+// then s, then r, one multiply-add per element) and the blocking constants
+// must not change.
+
+#include "blas/kernel.hpp"
+
+namespace srumma::blas::detail {
+
+namespace {
+
+constexpr index_t kMr = 8;
+constexpr index_t kNr = 4;
+
+void scalar_full(index_t kc, const double* ap, const double* bp, double* c,
+                 index_t ldc) {
+  double acc[kMr][kNr] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const double* av = ap + p * kMr;
+    const double* bv = bp + p * kNr;
+    for (index_t s = 0; s < kNr; ++s) {
+      const double bsv = bv[s];
+      for (index_t r = 0; r < kMr; ++r) acc[r][s] += av[r] * bsv;
+    }
+  }
+  for (index_t s = 0; s < kNr; ++s)
+    for (index_t r = 0; r < kMr; ++r) c[r + s * ldc] += acc[r][s];
+}
+
+// Restricting the loops to the live corner performs, per live element, the
+// identical operation sequence as the padded full tile: bit-for-bit equal,
+// without the dead-lane arithmetic.
+void scalar_edge(index_t kc, const double* ap, const double* bp, double* c,
+                 index_t ldc, index_t mr_eff, index_t nr_eff) {
+  double acc[kMr][kNr] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const double* av = ap + p * kMr;
+    const double* bv = bp + p * kNr;
+    for (index_t s = 0; s < nr_eff; ++s) {
+      const double bsv = bv[s];
+      for (index_t r = 0; r < mr_eff; ++r) acc[r][s] += av[r] * bsv;
+    }
+  }
+  for (index_t s = 0; s < nr_eff; ++s)
+    for (index_t r = 0; r < mr_eff; ++r) c[r + s * ldc] += acc[r][s];
+}
+
+}  // namespace
+
+const GemmKernel& scalar_kernel() {
+  static const GemmKernel k{
+      "scalar", kMr,         kNr,         /*mc=*/128,         /*kc=*/256,
+      /*nc=*/1024, scalar_full, scalar_edge, [] { return true; }, /*priority=*/0};
+  return k;
+}
+
+}  // namespace srumma::blas::detail

@@ -100,13 +100,10 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
 
   SrummaOptions tuned = opt;
   if (tuned.k_chunk == 0) {
-    // Auto block size: ~4 pipeline tasks per owner segment keeps the first
-    // (unoverlapped) get small and the later gets hidden, without dropping
-    // below a latency-amortizing floor.  This reproduces the paper's
+    // Auto block size derived from the K-axis owner segmentation of the
+    // stored operands (see auto_k_chunk).  This reproduces the paper's
     // empirically-tuned block size at the model level.
-    const index_t k = opt.ta == blas::Trans::Yes ? a.rows() : a.cols();
-    const int grid_edge = std::max(c.grid().p, c.grid().q);
-    tuned.k_chunk = std::clamp<index_t>(k / (4 * grid_edge), 64, 512);
+    tuned.k_chunk = auto_k_chunk(a, b, opt.ta, opt.tb);
   }
 
   if (tuned.max_buffer_bytes > 0) {

@@ -40,6 +40,19 @@ std::vector<index_t> tile_bounds(index_t n, index_t chunk) {
   return bounds;
 }
 
+index_t auto_k_chunk(const DistMatrix& a, const DistMatrix& b, blas::Trans ta,
+                     blas::Trans tb) {
+  const BlockDist1D& a_k = ta == blas::Trans::Yes ? a.row_dist() : a.col_dist();
+  const BlockDist1D& b_k = tb == blas::Trans::Yes ? b.col_dist() : b.row_dist();
+  SRUMMA_REQUIRE(a_k.total() == b_k.total(),
+                 "auto_k_chunk: operand K axes disagree");
+  const index_t k = a_k.total();
+  // The k_segment_bounds cut uses the union of both axes' owner
+  // boundaries; the finer of the two bounds the number of first-touch gets.
+  const index_t k_owners = std::max(a_k.parts(), b_k.parts());
+  return std::clamp<index_t>(k / (4 * k_owners), 64, 512);
+}
+
 TaskPlan build_task_plan(Rank& me, const DistMatrix& a, const DistMatrix& b,
                          const DistMatrix& c, const SrummaOptions& opt) {
   const bool tra = opt.ta == blas::Trans::Yes;

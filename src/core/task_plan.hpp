@@ -63,6 +63,15 @@ struct TaskPlan {
 /// tile start offsets plus a final sentinel n.
 [[nodiscard]] std::vector<index_t> tile_bounds(index_t n, index_t chunk);
 
+/// Auto-tuned K block size: ~4 pipeline tasks per K-axis owner segment
+/// keeps the first (unoverlapped) get small and the later gets hidden,
+/// without dropping below a latency-amortizing floor.  The divisor is the
+/// actual K-axis owner count of the stored operands (k_segment_bounds cuts
+/// there), *not* C's grid edge — on nonsquare grids and transposed
+/// operands the two differ and the grid edge mis-sizes the pipeline.
+[[nodiscard]] index_t auto_k_chunk(const DistMatrix& a, const DistMatrix& b,
+                                   blas::Trans ta, blas::Trans tb);
+
 /// Build this rank's task list in generation order: A-reuse policy picks
 /// the loop nest (ci, k, cj) so consecutive tasks share the A patch,
 /// otherwise (ci, cj, k).

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -11,7 +12,19 @@ void CliParser::add_flag(const std::string& name,
                          const std::string& default_value,
                          const std::string& help) {
   SRUMMA_REQUIRE(!flags_.count(name), "duplicate flag: " + name);
-  flags_[name] = Flag{default_value, default_value, help};
+  flags_[name] = Flag{default_value, default_value, help, {}};
+}
+
+void CliParser::add_choice_flag(const std::string& name,
+                                const std::string& default_value,
+                                std::vector<std::string> choices,
+                                const std::string& help) {
+  SRUMMA_REQUIRE(!flags_.count(name), "duplicate flag: " + name);
+  SRUMMA_REQUIRE(!choices.empty(), "choice flag needs at least one choice");
+  SRUMMA_REQUIRE(
+      std::find(choices.begin(), choices.end(), default_value) != choices.end(),
+      "default for --" + name + " is not among its choices");
+  flags_[name] = Flag{default_value, default_value, help, std::move(choices)};
 }
 
 bool CliParser::parse(int argc, const char* const* argv) {
@@ -38,6 +51,11 @@ bool CliParser::parse(int argc, const char* const* argv) {
         SRUMMA_REQUIRE(i + 1 < argc, "missing value for --" + arg);
         value = argv[++i];
       }
+    }
+    if (!it->second.choices.empty()) {
+      const auto& ch = it->second.choices;
+      SRUMMA_REQUIRE(std::find(ch.begin(), ch.end(), value) != ch.end(),
+                     "invalid value for --" + arg + ": " + value);
     }
     it->second.value = value;
   }
@@ -77,8 +95,14 @@ std::string CliParser::help(const std::string& program) const {
   std::ostringstream os;
   os << "usage: " << program << " [flags]\n";
   for (const auto& [name, flag] : flags_) {
-    os << "  --" << name << " (default: " << flag.default_value << ")\n"
-       << "      " << flag.help << "\n";
+    os << "  --" << name << " (default: " << flag.default_value << ")";
+    if (!flag.choices.empty()) {
+      os << " [";
+      for (std::size_t i = 0; i < flag.choices.size(); ++i)
+        os << (i ? "|" : "") << flag.choices[i];
+      os << "]";
+    }
+    os << "\n      " << flag.help << "\n";
   }
   return os.str();
 }

@@ -17,6 +17,14 @@ class CliParser {
   void add_flag(const std::string& name, const std::string& default_value,
                 const std::string& help);
 
+  /// Register a flag restricted to an enumerated set of values; parse()
+  /// rejects anything else.  Used e.g. for --gemm-kernel, whose choice set
+  /// comes from the blas kernel registry.
+  void add_choice_flag(const std::string& name,
+                       const std::string& default_value,
+                       std::vector<std::string> choices,
+                       const std::string& help);
+
   /// Parse argv; throws srumma::Error on unknown flags or missing values.
   /// Returns false (after printing help) when --help was requested.
   bool parse(int argc, const char* const* argv);
@@ -33,6 +41,7 @@ class CliParser {
     std::string value;
     std::string default_value;
     std::string help;
+    std::vector<std::string> choices;  // empty = unrestricted
   };
   std::map<std::string, Flag> flags_;
 };

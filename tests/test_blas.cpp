@@ -146,6 +146,53 @@ TEST(Gemm, NegativeDimThrows) {
                Error);
 }
 
+TEST(Gemm, LdaTooSmallThrows) {
+  // BLAS argument checking: lda must cover the *stored* A height — m for
+  // 'N' (A is m x k), k for 'T' (A is k x m).  Both kernels must die before
+  // reading out of bounds.
+  Matrix a(8, 8), b(8, 8), c(4, 4);
+  EXPECT_THROW(blas::gemm_blocked(Trans::No, Trans::No, 4, 4, 8, 1.0,
+                                  a.data(), 3, b.data(), 8, 0.0, c.data(), 4),
+               Error);
+  EXPECT_THROW(blas::gemm_naive(Trans::No, Trans::No, 4, 4, 8, 1.0, a.data(),
+                                3, b.data(), 8, 0.0, c.data(), 4),
+               Error);
+  EXPECT_THROW(blas::gemm_blocked(Trans::Yes, Trans::No, 4, 4, 8, 1.0,
+                                  a.data(), 7, b.data(), 8, 0.0, c.data(), 4),
+               Error);
+  // Valid lower bounds pass.
+  blas::gemm_blocked(Trans::No, Trans::No, 4, 4, 8, 1.0, a.data(), 4,
+                     b.data(), 8, 0.0, c.data(), 4);
+  blas::gemm_blocked(Trans::Yes, Trans::No, 4, 4, 8, 1.0, a.data(), 8,
+                     b.data(), 8, 0.0, c.data(), 4);
+}
+
+TEST(Gemm, LdbTooSmallThrows) {
+  // Stored B height is k for 'N' (B is k x n), n for 'T' (B is n x k).
+  Matrix a(8, 8), b(8, 8), c(4, 4);
+  EXPECT_THROW(blas::gemm_blocked(Trans::No, Trans::No, 4, 4, 8, 1.0,
+                                  a.data(), 8, b.data(), 7, 0.0, c.data(), 4),
+               Error);
+  EXPECT_THROW(blas::gemm_naive(Trans::No, Trans::No, 4, 4, 8, 1.0, a.data(),
+                                8, b.data(), 7, 0.0, c.data(), 4),
+               Error);
+  EXPECT_THROW(blas::gemm_blocked(Trans::No, Trans::Yes, 4, 4, 8, 1.0,
+                                  a.data(), 8, b.data(), 3, 0.0, c.data(), 4),
+               Error);
+  blas::gemm_blocked(Trans::No, Trans::Yes, 4, 4, 8, 1.0, a.data(), 8,
+                     b.data(), 4, 0.0, c.data(), 4);
+}
+
+TEST(Gemm, DegenerateOperandsSkipLdChecks) {
+  // k == 0 leaves A and B unread (possibly null); only beta applies, and
+  // the historical lda/ldb = 1 convention must keep working.
+  Matrix c(3, 3);
+  c.fill(4.0);
+  blas::gemm_blocked(Trans::No, Trans::No, 3, 3, 0, 1.0, nullptr, 1, nullptr,
+                     1, 0.25, c.data(), c.ld());
+  EXPECT_DOUBLE_EQ(c(2, 2), 1.0);
+}
+
 TEST(Gemm, LargeAccumulationAccuracy) {
   // Summing k=2000 terms of +-1-ish values stays well-conditioned.
   const index_t k = 2000;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "blas/kernel.hpp"
 #include "core/srumma.hpp"
 #include "msg/comm.hpp"
 #include "tests/helpers.hpp"
@@ -240,6 +241,62 @@ TEST(Stress, TwoHundredFiftySixRanksRealData) {
   });
   EXPECT_LE(max_abs_diff(c_out.view(), c_ref.view()),
             testing::gemm_tolerance(n));
+}
+
+TEST(Stress, PackBufferLifecycle) {
+  // The dgemm pack workspace is thread_local and grow-only: a small gemm
+  // must size it to its own (rounded) panels, not the kernel's full
+  // mc x kc / kc x nc footprint; a larger gemm grows it; a later small gemm
+  // leaves it alone; reset_pack_buffers() releases it.  All calls run on
+  // this thread so they hit one buffer pair.
+  blas::reset_pack_buffers();
+  EXPECT_EQ(blas::pack_buffer_bytes(), 0u);
+
+  const blas::GemmKernel& kern = blas::active_kernel();
+  auto round_up = [](index_t x, index_t mult) {
+    return (x + mult - 1) / mult * mult;
+  };
+  const std::size_t full_panel_bytes =
+      static_cast<std::size_t>(round_up(kern.mc, kern.mr) * kern.kc +
+                               kern.kc * round_up(kern.nc, kern.nr)) *
+      sizeof(double);
+
+  auto run_gemm = [](index_t n) {
+    Matrix a(n, n), b(n, n), c(n, n);
+    fill_random(a.view(), 81);
+    fill_random(b.view(), 82);
+    blas::gemm_blocked(blas::Trans::No, blas::Trans::No, n, n, n, 1.0,
+                       a.data(), a.ld(), b.data(), b.ld(), 0.0, c.data(),
+                       c.ld());
+  };
+
+  run_gemm(16);
+  const std::size_t small = blas::pack_buffer_bytes();
+  EXPECT_GT(small, 0u);
+  EXPECT_LT(small, full_panel_bytes) << "16x16 gemm paid full-panel cost";
+
+  run_gemm(400);  // spans several cache blocks in every dimension
+  const std::size_t big = blas::pack_buffer_bytes();
+  EXPECT_GT(big, small);
+
+  run_gemm(16);  // grow-only: revisiting a small problem must not shrink
+  EXPECT_EQ(blas::pack_buffer_bytes(), big);
+
+  blas::reset_pack_buffers();
+  EXPECT_EQ(blas::pack_buffer_bytes(), 0u);
+
+  // Still fully functional after a reset.
+  Matrix a(33, 29), b(29, 31), c(33, 31), c_ref(33, 31);
+  fill_random(a.view(), 83);
+  fill_random(b.view(), 84);
+  blas::gemm_blocked(blas::Trans::No, blas::Trans::No, 33, 31, 29, 1.0,
+                     a.data(), a.ld(), b.data(), b.ld(), 0.0, c.data(),
+                     c.ld());
+  blas::gemm_naive(blas::Trans::No, blas::Trans::No, 33, 31, 29, 1.0,
+                   a.data(), a.ld(), b.data(), b.ld(), 0.0, c_ref.data(),
+                   c_ref.ld());
+  EXPECT_LE(max_abs_diff(c.view(), c_ref.view()), testing::gemm_tolerance(29));
+  EXPECT_GT(blas::pack_buffer_bytes(), 0u);
 }
 
 TEST(Stress, BigTeamManyBarriers) {

@@ -8,6 +8,7 @@
 #include "core/task_plan.hpp"
 #include "rma/rma.hpp"
 #include "tests/helpers.hpp"
+#include "util/rng.hpp"
 
 namespace srumma {
 namespace {
@@ -159,6 +160,51 @@ TEST(TaskPlan, BufferMaximaCoverAllTasks) {
   });
 }
 
+TEST(AutoKChunk, DerivedFromKAxisOwnersNotGridEdge) {
+  PlanEnv env(MachineModel::testing(2, 2));
+  env.team.run([&](Rank& me) {
+    // 1 x 4 grid, C = A^T B: the K axis of both stored operands is the row
+    // axis, which the 1-row grid leaves in a single part.  The old
+    // heuristic divided by the grid edge (4) and produced 4x-too-small
+    // chunks — i.e. 4x more first-touch (unoverlapped) gets than the
+    // actual owner segmentation warrants.
+    const index_t k = 2048;
+    DistMatrix a(env.rma, me, k, 64, ProcGrid{1, 4}, true);
+    DistMatrix b(env.rma, me, k, 64, ProcGrid{1, 4}, true);
+    EXPECT_EQ(auto_k_chunk(a, b, blas::Trans::Yes, blas::Trans::No), 512);
+    // Untransposed reading of the same storage: A's K axis is its column
+    // axis with 4 owners -> 2048 / (4*4) = 128.  (Shapes no longer conform
+    // as a product; auto_k_chunk only consults the K axes.)
+    DistMatrix a2(env.rma, me, 64, k, ProcGrid{1, 4}, true);
+    DistMatrix b2(env.rma, me, k, 64, ProcGrid{1, 4}, true);
+    EXPECT_EQ(auto_k_chunk(a2, b2, blas::Trans::No, blas::Trans::No), 128);
+    // Clamp floor/ceiling.
+    DistMatrix a3(env.rma, me, 80, 16, ProcGrid{1, 4}, true);
+    DistMatrix b3(env.rma, me, 80, 16, ProcGrid{1, 4}, true);
+    EXPECT_EQ(auto_k_chunk(a3, b3, blas::Trans::Yes, blas::Trans::No), 64);
+  });
+}
+
+TEST(TaskPlan, OneByPGridTransposedUsesWholeKSegments) {
+  // Regression for the mis-sized pipeline: on a 1xP grid with ta=T the K
+  // axis has a single owner, so with the auto chunk the per-tile segment
+  // count must be k / chunk, not (grid edge) * k / chunk.
+  PlanEnv env(MachineModel::testing(2, 2));
+  env.team.run([&](Rank& me) {
+    const index_t k = 2048;
+    DistMatrix a(env.rma, me, k, 64, ProcGrid{1, 4}, true);
+    DistMatrix b(env.rma, me, k, 64, ProcGrid{1, 4}, true);
+    DistMatrix c(env.rma, me, 64, 64, ProcGrid{1, 4}, true);
+    SrummaOptions opt;
+    opt.ta = blas::Trans::Yes;
+    opt.k_chunk = auto_k_chunk(a, b, opt.ta, opt.tb);
+    TaskPlan plan = build_task_plan(me, a, b, c, opt);
+    check_plan_invariants(me, plan, c, k);
+    EXPECT_EQ(plan.tasks.size(), static_cast<std::size_t>(k / 512));
+    for (const Task& t : plan.tasks) EXPECT_EQ(t.kk, 512);
+  });
+}
+
 // ---- pure ordering tests -------------------------------------------------
 
 Task mk_task(index_t k0, bool a_dom, bool b_dom, int a_col) {
@@ -235,6 +281,72 @@ TEST(Ordering, PermutationPreserved) {
     if (!t.in_domain()) seen_remote = true;
     if (t.in_domain()) {
       EXPECT_FALSE(seen_remote) << "shm task after remote";
+    }
+  }
+}
+
+// Count maximal runs of tasks sharing one A patch (the unit the pipeline's
+// buffer reuse cares about).
+int count_a_runs(const std::vector<Task>& ts) {
+  if (ts.empty()) return 0;
+  int runs = 1;
+  for (std::size_t i = 1; i < ts.size(); ++i)
+    if (!ts[i].same_a_patch(ts[i - 1])) ++runs;
+  return runs;
+}
+
+TEST(Ordering, DiagonalShiftSplitsAtMostOneAReuseRun) {
+  // Property: the diagonal rotation is a single cyclic shift of the remote
+  // tail, so it can cut at most one maximal A-reuse run in two.  Randomized
+  // over run structures, owner columns and rotation targets.
+  Rng rng(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Task> ts;
+    const int groups = 1 + static_cast<int>(rng.below(6));
+    index_t idx = 0;
+    for (int g = 0; g < groups; ++g) {
+      const int len = 1 + static_cast<int>(rng.below(4));
+      const int col = static_cast<int>(rng.below(4));
+      for (int i = 0; i < len; ++i) {
+        Task t = mk_task(idx++, false, false, col);
+        t.a_i0 = g;  // distinct patch per group -> `groups` maximal runs
+        ts.push_back(t);
+      }
+    }
+    const int before = count_a_runs(ts);
+    OrderingPolicy p{false, true, true};
+    order_tasks(ts, p, static_cast<int>(rng.below(5)));  // col 4 may miss
+    EXPECT_LE(count_a_runs(ts), before + 1) << "trial " << trial;
+    EXPECT_EQ(ts.size(), static_cast<std::size_t>(idx));
+  }
+}
+
+TEST(Ordering, ShmFirstIsStableUnderRandomInput) {
+  // Property: shm_first is a *stable* partition — within each class the
+  // original generation order (recorded in k0) survives untouched.
+  Rng rng(977);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Task> ts;
+    const index_t n = 1 + static_cast<index_t>(rng.below(24));
+    for (index_t i = 0; i < n; ++i)
+      ts.push_back(mk_task(i, rng.below(2) == 0, rng.below(2) == 0,
+                           static_cast<int>(rng.below(4))));
+    OrderingPolicy p{true, false, false};
+    order_tasks(ts, p, 0);
+    ASSERT_EQ(ts.size(), static_cast<std::size_t>(n));
+    index_t last_shm = -1, last_remote = -1;
+    bool seen_remote = false;
+    for (const Task& t : ts) {
+      if (t.in_domain()) {
+        EXPECT_FALSE(seen_remote) << "shm task after remote, trial " << trial;
+        EXPECT_GT(t.k0, last_shm) << "shm order perturbed, trial " << trial;
+        last_shm = t.k0;
+      } else {
+        seen_remote = true;
+        EXPECT_GT(t.k0, last_remote)
+            << "remote order perturbed, trial " << trial;
+        last_remote = t.k0;
+      }
     }
   }
 }
