@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 verification wrapper:
-#   1. configure + build + full ctest suite (Release), and
-#   2. an ASan/UBSan build of the library + kernel-verification harness,
-#      running test_gemm_kernels under the sanitizers.
+# Tier-1 verification wrapper (see docs/CHECKING.md for the full matrix):
+#   1.  configure + build + full ctest suite (Release);
+#   1b. an ASan/UBSan build of the library + kernel-verification harness,
+#       running test_gemm_kernels under the sanitizers;
+#   1c. the full suite again with the shadow-state RMA checker enabled
+#       (SRUMMA_RMA_CHECK=1) — any diagnostic fails the run;
+#   2.  a TSan build running the concurrency-heavy suites
+#       (test_rma, test_runtime, test_srumma, test_rma_checker);
+#   3.  static analysis via scripts/lint.sh.
 #
-# Usage: scripts/check.sh [build-dir] [asan-build-dir]
+# Usage: scripts/check.sh [build-dir] [asan-build-dir] [tsan-build-dir]
 # Exits non-zero on the first failure.
 
 set -euo pipefail
@@ -12,6 +17,7 @@ set -euo pipefail
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build="${1:-$repo/build}"
 asan_build="${2:-$repo/build-asan}"
+tsan_build="${3:-$repo/build-tsan}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 echo "== tier 1: configure + build + ctest ($build) =="
@@ -27,6 +33,28 @@ cmake -B "$asan_build" -S "$repo" \
   -DSRUMMA_BUILD_EXAMPLES=OFF
 cmake --build "$asan_build" -j "$jobs" --target test_gemm_kernels
 ctest --test-dir "$asan_build" --output-on-failure -R '^test_gemm_kernels$'
+
+echo
+echo "== tier 1c: full suite with the RMA checker enabled ($build) =="
+SRUMMA_RMA_CHECK=1 ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+echo
+echo "== tier 2: concurrency suites under TSan ($tsan_build) =="
+cmake -B "$tsan_build" -S "$repo" \
+  -DSRUMMA_SANITIZE=thread \
+  -DSRUMMA_BUILD_BENCH=OFF \
+  -DSRUMMA_BUILD_EXAMPLES=OFF
+cmake --build "$tsan_build" -j "$jobs" \
+  --target test_rma --target test_runtime --target test_srumma \
+  --target test_rma_checker
+# halt_on_error: a data race must fail the suite, not just print.
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+  ctest --test-dir "$tsan_build" --output-on-failure \
+  -R '^(test_rma|test_runtime|test_srumma|test_rma_checker)$'
+
+echo
+echo "== tier 3: static analysis (scripts/lint.sh) =="
+"$repo/scripts/lint.sh" "$build"
 
 echo
 echo "check.sh: all green"

@@ -63,6 +63,11 @@ void acquire(Rank& me, DistMatrix& mat, index_t i0, index_t j0, index_t mi,
                            : mm.remote_direct_rate_factor;
       if (!mat.phantom()) {
         st.view = *mat.direct_view(me, i0, j0, mi, nj);
+      } else {
+        // No data to view, but the *modeled* loads still reach through to
+        // the owner's segment — declare them so the checker sees the same
+        // access pattern the real run would.
+        mat.declare_direct_read(me, *owner, i0, j0, mi, nj);
       }
       me.trace().direct_tasks += 1;
       return;
@@ -213,6 +218,17 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
 
     if (!c.phantom()) {
       MatrixView c_tile = c.local_view(me).block(t.ci, t.cj, t.cm, t.cn);
+      if (a.rma().checker() != nullptr) {
+        // Declare dgemm's operand reads and result write: the checker
+        // verifies no pending fetch is still filling a buffer this kernel
+        // consumes, and joins direct views to the epoch conflict map.
+        a.rma().declare_compute_read(me, as.view.data(), as.view.rows(),
+                                     as.view.cols(), as.view.ld());
+        b.rma().declare_compute_read(me, bs.view.data(), bs.view.rows(),
+                                     bs.view.cols(), bs.view.ld());
+        c.rma().declare_compute_write(me, c_tile.data(), c_tile.rows(),
+                                      c_tile.cols(), c_tile.ld());
+      }
       blas::gemm(opt.ta, opt.tb, opt.alpha, as.view, bs.view, 1.0, c_tile);
     }
     me.charge_gemm(t.cm, t.cn, t.kk,

@@ -77,12 +77,25 @@ std::optional<ConstMatrixView> DistMatrix::direct_view(Rank& me, index_t i0,
   // Whole rectangle within one owner block?
   if (owner(i0 + mi - 1, j0 + nj - 1) != o) return std::nullopt;
   if (!rma_->same_domain(me.id(), o)) return std::nullopt;
+  declare_direct_read(me, o, i0, j0, mi, nj);
   const auto [pi, pj] = grid_.coords_of(o);
   const index_t lm = rows_.count(pi);
   const index_t li = i0 - rows_.start(pi);
   const index_t lj = j0 - cols_.start(pj);
   const double* base = region_.base(o);
   return ConstMatrixView(base + li + lj * lm, mi, nj, lm);
+}
+
+void DistMatrix::declare_direct_read(Rank& me, int owner, index_t i0,
+                                     index_t j0, index_t mi, index_t nj,
+                                     std::source_location site) const {
+  if (rma_->checker() == nullptr || mi <= 0 || nj <= 0) return;
+  const auto [pi, pj] = grid_.coords_of(owner);
+  const index_t lm = std::max<index_t>(rows_.count(pi), 1);
+  const index_t li = i0 - rows_.start(pi);
+  const index_t lj = j0 - cols_.start(pj);
+  rma_->declare_direct_access(me, region_, owner, li + lj * lm, mi, nj, lm,
+                              site);
 }
 
 bool DistMatrix::rect_in_domain(Rank& me, index_t i0, index_t j0, index_t mi,

@@ -86,6 +86,15 @@ class DistMatrix {
                                                            index_t mi,
                                                            index_t nj) const;
 
+  /// Declare to the RMA checker (when enabled) that `me` reads the
+  /// rectangle [i0, i0+mi) x [j0, j0+nj) directly by load/store from
+  /// `owner`'s block.  direct_view() declares automatically; the phantom
+  /// direct-access path (which models the loads without data) must call
+  /// this explicitly.  No-op when checking is off.
+  void declare_direct_read(
+      Rank& me, int owner, index_t i0, index_t j0, index_t mi, index_t nj,
+      std::source_location site = std::source_location::current()) const;
+
   /// True when every owner of the rectangle is in my shared-memory domain.
   [[nodiscard]] bool rect_in_domain(Rank& me, index_t i0, index_t j0,
                                     index_t mi, index_t nj) const;

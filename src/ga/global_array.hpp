@@ -60,7 +60,17 @@ class GlobalArray {
   void sync(Rank& me) { me.barrier(); }
 
   /// Direct view of my local block (GA_Access); valid until the array dies.
-  [[nodiscard]] MatrixView access(Rank& me) { return m_.local_view(me); }
+  /// Under the RMA checker the view is declared as a local write for the
+  /// current epoch, so a one-sided put/acc landing in this block before the
+  /// next sync() is diagnosed as an epoch conflict.
+  [[nodiscard]] MatrixView access(
+      Rank& me,
+      std::source_location site = std::source_location::current()) {
+    MatrixView v = m_.local_view(me);
+    m_.rma().declare_compute_write(me, v.data(), v.rows(), v.cols(), v.ld(),
+                                   site);
+    return v;
+  }
 
   /// Global [row, col) ranges owned by `rank` (GA_Distribution).
   [[nodiscard]] std::pair<std::pair<index_t, index_t>,

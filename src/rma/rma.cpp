@@ -12,7 +12,32 @@ RmaRuntime::RmaRuntime(Team& team, RmaConfig cfg)
     : team_(team),
       zero_copy_(cfg.zero_copy.value_or(team.machine().zero_copy)),
       next_alloc_seq_(static_cast<std::size_t>(team.size()), 0),
-      next_free_seq_(static_cast<std::size_t>(team.size()), 0) {}
+      next_free_seq_(static_cast<std::size_t>(team.size()), 0) {
+  if (cfg.check.value_or(check::RmaChecker::env_enabled()))
+    checker_ = std::make_unique<check::RmaChecker>(team, cfg.check_throw);
+}
+
+void RmaRuntime::validate2d(const char* op, int owner, index_t ld_src,
+                            index_t rows, index_t cols, index_t ld_dst) const {
+  SRUMMA_REQUIRE(rows >= 0 && cols >= 0,
+                 std::string(op) + ": negative patch extent");
+  SRUMMA_REQUIRE(ld_src >= rows && ld_src >= 1,
+                 std::string(op) + ": source leading dimension < rows");
+  SRUMMA_REQUIRE(ld_dst >= rows && ld_dst >= 1,
+                 std::string(op) + ": destination leading dimension < rows");
+  SRUMMA_REQUIRE(owner >= 0 && owner < team_.size(),
+                 std::string(op) + ": owner rank out of range");
+}
+
+void RmaRuntime::declare_direct_access(Rank& me, const SymmetricRegion& region,
+                                       int owner, index_t offset_elems,
+                                       index_t rows, index_t cols, index_t ld,
+                                       std::source_location site) {
+  if (!checker_) return;
+  check::Footprint f = shape(rows, cols, ld);
+  f.lo = static_cast<std::uint64_t>(offset_elems) * sizeof(double);
+  checker_->on_direct_access(me.id(), owner, region.seq, f, site);
+}
 
 SymmetricRegion RmaRuntime::malloc_symmetric(Rank& me, std::size_t elems) {
   const int size = team_.size();
@@ -38,12 +63,16 @@ SymmetricRegion RmaRuntime::malloc_symmetric(Rank& me, std::size_t elems) {
     }
     region.bases = rec.bases;
   }
+  if (checker_)
+    checker_->on_malloc(me.id(), region.seq, region.base(me.id()), elems);
   me.barrier();
   return region;
 }
 
 void RmaRuntime::free_symmetric(Rank& me, const SymmetricRegion& region) {
   const int size = team_.size();
+  if (checker_)
+    checker_->on_free(me.id(), region.seq, std::source_location::current());
   {
     std::unique_lock<std::mutex> lock(alloc_mu_);
     SRUMMA_REQUIRE(live_allocs_.count(region.seq) == 1,
@@ -71,6 +100,7 @@ RmaHandle RmaRuntime::transfer(Rank& me, int owner, std::size_t bytes,
 
   RmaHandle h;
   h.pending = true;
+  h.issued = true;
   if (bytes == 0) {
     h.completion = t0;
     return h;
@@ -128,8 +158,14 @@ void RmaRuntime::copy2d(const double* src, index_t ld_src, index_t rows,
 }
 
 RmaHandle RmaRuntime::nbget(Rank& me, int owner, const double* src,
-                            double* dst, std::size_t elems) {
+                            double* dst, std::size_t elems,
+                            std::source_location site) {
   RmaHandle h = transfer(me, owner, elems * sizeof(double), /*is_get=*/true);
+  if (checker_) {
+    const auto n = static_cast<index_t>(elems);
+    h.check_id = checker_->on_issue(me.id(), check::OpKind::Get, owner, src,
+                                    shape(n, 1, n), dst, shape(n, 1, n), site);
+  }
   if (src != nullptr && dst != nullptr && elems > 0) {
     std::memcpy(dst, src, elems * sizeof(double));
   }
@@ -139,13 +175,19 @@ RmaHandle RmaRuntime::nbget(Rank& me, int owner, const double* src,
 
 RmaHandle RmaRuntime::nbget2d(Rank& me, int owner, const double* src,
                               index_t ld_src, index_t rows, index_t cols,
-                              double* dst, index_t ld_dst) {
-  SRUMMA_REQUIRE(rows >= 0 && cols >= 0, "nbget2d: negative patch extent");
+                              double* dst, index_t ld_dst,
+                              std::source_location site) {
+  validate2d("nbget2d", owner, ld_src, rows, cols, ld_dst);
   const std::size_t bytes =
       static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) *
       sizeof(double);
   const double issued = me.clock().now();
   RmaHandle h = transfer(me, owner, bytes, /*is_get=*/true);
+  if (checker_) {
+    h.check_id = checker_->on_issue(me.id(), check::OpKind::Get, owner, src,
+                                    shape(rows, cols, ld_src), dst,
+                                    shape(rows, cols, ld_dst), site);
+  }
   if (Timeline* tl = team_.timeline())
     tl->record(me.id(), EventKind::Get, issued, h.completion);
   copy2d(src, ld_src, rows, cols, dst, ld_dst);
@@ -155,13 +197,19 @@ RmaHandle RmaRuntime::nbget2d(Rank& me, int owner, const double* src,
 
 RmaHandle RmaRuntime::nbput2d(Rank& me, int owner, const double* src,
                               index_t ld_src, index_t rows, index_t cols,
-                              double* dst, index_t ld_dst) {
-  SRUMMA_REQUIRE(rows >= 0 && cols >= 0, "nbput2d: negative patch extent");
+                              double* dst, index_t ld_dst,
+                              std::source_location site) {
+  validate2d("nbput2d", owner, ld_src, rows, cols, ld_dst);
   const std::size_t bytes =
       static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) *
       sizeof(double);
   const double issued = me.clock().now();
   RmaHandle h = transfer(me, owner, bytes, /*is_get=*/false);
+  if (checker_) {
+    h.check_id = checker_->on_issue(me.id(), check::OpKind::Put, owner, dst,
+                                    shape(rows, cols, ld_dst), src,
+                                    shape(rows, cols, ld_src), site);
+  }
   if (Timeline* tl = team_.timeline())
     tl->record(me.id(), EventKind::Put, issued, h.completion);
   copy2d(src, ld_src, rows, cols, dst, ld_dst);
@@ -171,12 +219,18 @@ RmaHandle RmaRuntime::nbput2d(Rank& me, int owner, const double* src,
 
 RmaHandle RmaRuntime::nbacc2d(Rank& me, int owner, double alpha,
                               const double* src, index_t ld_src, index_t rows,
-                              index_t cols, double* dst, index_t ld_dst) {
-  SRUMMA_REQUIRE(rows >= 0 && cols >= 0, "nbacc2d: negative patch extent");
+                              index_t cols, double* dst, index_t ld_dst,
+                              std::source_location site) {
+  validate2d("nbacc2d", owner, ld_src, rows, cols, ld_dst);
   const std::size_t bytes =
       static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) *
       sizeof(double);
   RmaHandle h = transfer(me, owner, bytes, /*is_get=*/false);
+  if (checker_) {
+    h.check_id = checker_->on_issue(me.id(), check::OpKind::Acc, owner, dst,
+                                    shape(rows, cols, ld_dst), src,
+                                    shape(rows, cols, ld_src), site);
+  }
   if (bytes > 0) {
     // The read-modify-write always runs on the owner's host CPU, even on
     // zero-copy networks: charge the add to the owner (remote) or to the
@@ -203,8 +257,10 @@ RmaHandle RmaRuntime::nbacc2d(Rank& me, int owner, double alpha,
   return h;
 }
 
-void RmaRuntime::wait(Rank& me, RmaHandle& h) {
-  SRUMMA_REQUIRE(h.pending, "wait: handle is not pending");
+void RmaRuntime::wait(Rank& me, RmaHandle& h, std::source_location site) {
+  SRUMMA_REQUIRE(h.issued, "wait: handle was never issued");
+  if (checker_) checker_->on_wait(me.id(), h.check_id, site);
+  if (!h.pending) return;  // idempotent on already-completed handles
   const double before = me.clock().now();
   if (h.completion > before) {
     me.trace().time_wait += h.completion - before;
@@ -216,10 +272,10 @@ void RmaRuntime::wait(Rank& me, RmaHandle& h) {
 }
 
 void RmaRuntime::get2d(Rank& me, int owner, const double* src, index_t ld_src,
-                       index_t rows, index_t cols, double* dst,
-                       index_t ld_dst) {
-  RmaHandle h = nbget2d(me, owner, src, ld_src, rows, cols, dst, ld_dst);
-  wait(me, h);
+                       index_t rows, index_t cols, double* dst, index_t ld_dst,
+                       std::source_location site) {
+  RmaHandle h = nbget2d(me, owner, src, ld_src, rows, cols, dst, ld_dst, site);
+  wait(me, h, site);
 }
 
 }  // namespace srumma

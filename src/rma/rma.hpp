@@ -33,26 +33,44 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <source_location>
 #include <vector>
 
+#include "check/rma_checker.hpp"
 #include "runtime/team.hpp"
 #include "util/aligned.hpp"
 #include "util/matrix.hpp"
 
 namespace srumma {
 
-/// Tuning knobs for protocol experiments (Fig. 9).
+/// Tuning knobs for protocol experiments (Fig. 9) and checking.
 struct RmaConfig {
   /// Override the machine's zero-copy capability (disable to measure the
   /// host-CPU-copy penalty on a zero-copy-capable network).
   std::optional<bool> zero_copy;
+  /// Enable the shadow-state RMA checker (src/check) for this runtime,
+  /// overriding the SRUMMA_RMA_CHECK environment / build default.
+  std::optional<bool> check;
+  /// Checker failure mode: throw srumma::Error at the first diagnostic
+  /// (default) or record only (tests inspect checker()->reports()).
+  bool check_throw = true;
 };
 
 /// Completion record for a nonblocking one-sided operation.
+///
+/// wait() semantics: a handle becomes `issued` when returned by an nb* call
+/// and stops being `pending` after its first wait().  Waiting a completed
+/// handle is a documented idempotent no-op (so generic drain loops need no
+/// bookkeeping); waiting a never-issued handle throws.  Under the RMA
+/// checker a second wait is additionally reported as a double-wait
+/// diagnostic, because in real code it almost always means a lost or
+/// aliased handle.
 struct RmaHandle {
   double completion = 0.0;  ///< virtual time the transfer finishes
   double duration = 0.0;    ///< modeled wire/copy time
   bool pending = false;
+  bool issued = false;          ///< returned by an nb* call (wait() requires)
+  std::uint64_t check_id = 0;   ///< checker handle identity (0 = untracked)
 };
 
 /// Result of a collective symmetric allocation: every rank's base pointer.
@@ -93,15 +111,18 @@ class RmaRuntime {
 
   /// Nonblocking contiguous get of `elems` doubles owned by rank `owner`.
   RmaHandle nbget(Rank& me, int owner, const double* src, double* dst,
-                  std::size_t elems);
+                  std::size_t elems,
+                  std::source_location site = std::source_location::current());
 
   /// Nonblocking strided get of a rows x cols column-major patch.
   RmaHandle nbget2d(Rank& me, int owner, const double* src, index_t ld_src,
-                    index_t rows, index_t cols, double* dst, index_t ld_dst);
+                    index_t rows, index_t cols, double* dst, index_t ld_dst,
+                    std::source_location site = std::source_location::current());
 
   /// Nonblocking strided put (origin -> owner).
   RmaHandle nbput2d(Rank& me, int owner, const double* src, index_t ld_src,
-                    index_t rows, index_t cols, double* dst, index_t ld_dst);
+                    index_t rows, index_t cols, double* dst, index_t ld_dst,
+                    std::source_location site = std::source_location::current());
 
   /// Nonblocking strided accumulate: dst += alpha * src at the owner
   /// (ARMCI_Acc).  Element updates are atomic with respect to concurrent
@@ -109,14 +130,51 @@ class RmaRuntime {
   /// whose target-side add always runs on a host CPU (never zero-copy).
   RmaHandle nbacc2d(Rank& me, int owner, double alpha, const double* src,
                     index_t ld_src, index_t rows, index_t cols, double* dst,
-                    index_t ld_dst);
+                    index_t ld_dst,
+                    std::source_location site = std::source_location::current());
 
   /// Block until a nonblocking op completes; charges the wait to the clock.
-  void wait(Rank& me, RmaHandle& h);
+  /// Idempotent on an already-completed handle; throws on a handle that was
+  /// never issued (see RmaHandle).
+  void wait(Rank& me, RmaHandle& h,
+            std::source_location site = std::source_location::current());
 
   /// Blocking variants (issue + immediate wait; zero overlap).
   void get2d(Rank& me, int owner, const double* src, index_t ld_src,
-             index_t rows, index_t cols, double* dst, index_t ld_dst);
+             index_t rows, index_t cols, double* dst, index_t ld_dst,
+             std::source_location site = std::source_location::current());
+
+  // -- checker access & discipline declarations -----------------------------
+  /// The shadow-state checker, or nullptr when disabled.  Every declare_*
+  /// below is a single null test when checking is off.
+  [[nodiscard]] check::RmaChecker* checker() noexcept { return checker_.get(); }
+
+  /// Declare that `me`'s compute consumes [ptr, rows x cols, ld] (doubles).
+  /// The checker verifies no pending get is still filling the buffer and,
+  /// when ptr lies in a symmetric segment, joins it to the epoch conflict
+  /// map (get-vs-dgemm overlap checking in the SRUMMA pipeline).
+  void declare_compute_read(
+      Rank& me, const double* ptr, index_t rows, index_t cols, index_t ld,
+      std::source_location site = std::source_location::current()) {
+    if (checker_)
+      checker_->on_compute_access(me.id(), ptr, shape(rows, cols, ld),
+                                  /*write=*/false, site);
+  }
+  /// Declare a local compute write (a C tile, a GA access view).
+  void declare_compute_write(
+      Rank& me, const double* ptr, index_t rows, index_t cols, index_t ld,
+      std::source_location site = std::source_location::current()) {
+    if (checker_)
+      checker_->on_compute_access(me.id(), ptr, shape(rows, cols, ld),
+                                  /*write=*/true, site);
+  }
+  /// Declare a direct load/store reach-through into `region`'s segment on
+  /// `owner`, starting `offset_elems` doubles into the segment.  The checker
+  /// diagnoses reach-through to owners outside the caller's memory domain.
+  void declare_direct_access(
+      Rank& me, const SymmetricRegion& region, int owner, index_t offset_elems,
+      index_t rows, index_t cols, index_t ld,
+      std::source_location site = std::source_location::current());
 
  private:
   struct AllocRecord {
@@ -130,8 +188,24 @@ class RmaRuntime {
   void copy2d(const double* src, index_t ld_src, index_t rows, index_t cols,
               double* dst, index_t ld_dst);
 
+  /// Checker footprint of a rows x cols patch of doubles with stride ld.
+  [[nodiscard]] static check::Footprint shape(index_t rows, index_t cols,
+                                              index_t ld) {
+    check::Footprint f;
+    if (rows > 0 && cols > 0) {
+      f.rows = static_cast<std::uint64_t>(rows) * sizeof(double);
+      f.cols = static_cast<std::uint64_t>(cols);
+      f.ld = static_cast<std::uint64_t>(ld) * sizeof(double);
+    }
+    return f;
+  }
+  /// Shared argument validation for the strided nb* entry points.
+  void validate2d(const char* op, int owner, index_t ld_src, index_t rows,
+                  index_t cols, index_t ld_dst) const;
+
   Team& team_;
   bool zero_copy_;
+  std::unique_ptr<check::RmaChecker> checker_;
   std::mutex acc_mu_;  // serializes concurrent accumulate updates
 
   std::mutex alloc_mu_;

@@ -161,7 +161,37 @@ void Team::abort() noexcept {
   barrier_cv_.notify_all();
 }
 
+std::uint64_t Team::add_epoch_observer(std::function<void(int)> fn) {
+  std::lock_guard<std::mutex> lock(observer_mu_);
+  const std::uint64_t id = next_observer_id_++;
+  epoch_observers_.emplace(id, std::move(fn));
+  has_epoch_observers_.store(true, std::memory_order_release);
+  return id;
+}
+
+void Team::remove_epoch_observer(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(observer_mu_);
+  epoch_observers_.erase(id);
+  has_epoch_observers_.store(!epoch_observers_.empty(),
+                             std::memory_order_release);
+}
+
+void Team::notify_epoch_observers(int rank) {
+  // Copy under the lock, call outside it: an observer may throw (the RMA
+  // checker in throw mode) and must not leave observer_mu_ held.
+  std::vector<std::function<void(int)>> fns;
+  {
+    std::lock_guard<std::mutex> lock(observer_mu_);
+    fns.reserve(epoch_observers_.size());
+    for (auto& [id, fn] : epoch_observers_) fns.push_back(fn);
+  }
+  for (auto& fn : fns) fn(rank);
+}
+
 void Team::barrier_wait(Rank& me) {
+  if (has_epoch_observers_.load(std::memory_order_acquire))
+    notify_epoch_observers(me.id());
+
   const double barrier_cost =
       machine_.barrier_hop_latency *
       (size_ > 1 ? std::ceil(std::log2(static_cast<double>(size_))) : 0.0);

@@ -13,6 +13,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -101,10 +102,20 @@ class Team {
   /// Per-rank scratch slots used by collective algorithms to publish their
   /// local statistics; a slot is written by its owning rank before a
   /// barrier and read by everyone after it.
+  ///
+  /// Synchronization: the boards carry no locks of their own.  The
+  /// write-before-barrier / read-after-barrier discipline is sound because
+  /// barrier_wait establishes a happens-before edge between every rank's
+  /// pre-barrier work and every rank's post-barrier work: each arrival
+  /// acquires barrier_mu_, and each departure observes the generation bump
+  /// published under that same mutex (verified race-free under
+  /// -fsanitize=thread; see docs/CHECKING.md).  Readers must also finish
+  /// before the *next* barrier, after which slots may be overwritten.
   [[nodiscard]] TraceCounters& trace_board(int rank);
 
   /// Per-rank double slot with the same write-before-barrier / read-after
-  /// discipline; used for collective reductions over shared memory.
+  /// discipline (and the same barrier-provided synchronization) as
+  /// trace_board; used for collective reductions over shared memory.
   [[nodiscard]] double& value_board(int rank);
 
   /// Start recording per-rank event spans (see vtime/timeline.hpp); off by
@@ -113,6 +124,14 @@ class Team {
   void enable_timeline();
   /// nullptr when recording is disabled.
   [[nodiscard]] Timeline* timeline() noexcept { return timeline_.get(); }
+
+  /// Register a callback invoked with the rank id every time that rank
+  /// *enters* a barrier (before it blocks) — the epoch-advance hook the RMA
+  /// checker uses to close an access epoch.  Returns an id for
+  /// remove_epoch_observer.  When no observer is registered the barrier
+  /// path pays one relaxed atomic load and nothing else.
+  std::uint64_t add_epoch_observer(std::function<void(int)> fn);
+  void remove_epoch_observer(std::uint64_t id);
 
   // -- used by Rank::barrier and the comm layers ----------------------------
   void barrier_wait(Rank& me);
@@ -129,6 +148,13 @@ class Team {
   std::vector<TraceCounters> trace_board_;
   std::vector<double> value_board_;
   std::unique_ptr<Timeline> timeline_;
+
+  void notify_epoch_observers(int rank);
+
+  std::mutex observer_mu_;
+  std::map<std::uint64_t, std::function<void(int)>> epoch_observers_;
+  std::uint64_t next_observer_id_ = 1;
+  std::atomic<bool> has_epoch_observers_{false};
 
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "rma/rma.hpp"
 #include "runtime/team.hpp"
 #include "util/rng.hpp"
@@ -252,6 +254,49 @@ TEST(RmaErrors, BadArgumentsThrow) {
     EXPECT_THROW(rma.nbget(me, 99, nullptr, nullptr, 8), Error);
     EXPECT_THROW(rma.nbget2d(me, 0, nullptr, 1, -1, 2, nullptr, 1), Error);
     me.barrier();
+  });
+}
+
+TEST(RmaErrors, Strided2dArgumentValidation) {
+  Team team(MachineModel::testing(1, 2));
+  RmaRuntime rma(team);
+  team.run([&](Rank& me) {
+    std::vector<double> buf(64, 0.0);
+    // Leading dimension smaller than the patch height.
+    EXPECT_THROW(
+        rma.nbget2d(me, 0, buf.data(), 2, 4, 2, buf.data() + 32, 4), Error);
+    EXPECT_THROW(
+        rma.nbput2d(me, 0, buf.data(), 4, 4, 2, buf.data() + 32, 2), Error);
+    // Owner rank out of range.
+    EXPECT_THROW(
+        rma.nbput2d(me, 2, buf.data(), 4, 4, 2, buf.data() + 32, 4), Error);
+    EXPECT_THROW(rma.nbacc2d(me, -1, 1.0, buf.data(), 4, 4, 2,
+                             buf.data() + 32, 4),
+                 Error);
+    // Negative extents.
+    EXPECT_THROW(rma.nbacc2d(me, 0, 1.0, buf.data(), 4, 4, -2,
+                             buf.data() + 32, 4),
+                 Error);
+    me.barrier();
+  });
+}
+
+TEST(RmaWait, IdempotentOnCompletedHandle) {
+  Team team(MachineModel::testing(1, 2));
+  RmaConfig cfg;
+  cfg.check = false;  // plain-runtime semantics, regardless of environment
+  RmaRuntime rma(team, cfg);
+  team.run([&](Rank& me) {
+    std::vector<double> src(8, 1.0);
+    std::vector<double> dst(8, 0.0);
+    RmaHandle h = rma.nbget(me, me.id(), src.data(), dst.data(), 8);
+    rma.wait(me, h);
+    EXPECT_FALSE(h.pending);
+    const double after_first = me.clock().now();
+    EXPECT_NO_THROW(rma.wait(me, h));  // documented no-op
+    EXPECT_NO_THROW(rma.wait(me, h));
+    EXPECT_EQ(me.clock().now(), after_first);
+    EXPECT_EQ(dst[0], 1.0);
   });
 }
 
