@@ -1,0 +1,63 @@
+// Fault-plane overhead: what deterministic injection + retry costs SRUMMA
+// at realistic fault rates, for the nonblocking pipeline and the blocking
+// arm.
+//
+// Three injection levels (off / 0.1% / 1% per-transfer fail+delay rate)
+// on the Linux cluster model.  The "off" rows are the zero-cost baseline:
+// with no plane installed the hot paths only test a null pointer.  The
+// nonblocking pipeline should absorb most of the recovery time — retries
+// of prefetched patches overlap with compute — while the blocking arm
+// pays every retry on the critical path.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace srumma;
+  using namespace srumma::bench;
+
+  std::cout << "Fault-injection overhead: SRUMMA nonblocking vs blocking, "
+               "Linux cluster (Myrinet), 16 CPUs\n\n";
+  const MachineModel machine = MachineModel::linux_myrinet(8);
+  const index_t n = 4000;
+
+  TableWriter table({"rate %", "mode", "GFLOP/s", "overhead %", "retries",
+                     "delayed", "recovery ms"});
+  for (const bool nonblocking : {true, false}) {
+    double base_elapsed = 0.0;
+    for (const double rate : {0.0, 0.001, 0.01}) {
+      RmaConfig cfg;
+      if (rate > 0.0) {
+        fault::FaultConfig f;
+        f.seed = 0xbe7c;
+        f.fail_rate = rate;
+        f.delay_rate = rate;
+        f.delay_factor = 8.0;
+        RetryPolicy rp;
+        rp.max_attempts = 8;
+        cfg.faults = f;
+        cfg.retry = rp;
+      }
+      Testbed tb(machine, cfg);
+      SrummaOptions opt;
+      opt.nonblocking = nonblocking;
+      const MultiplyResult r = run_srumma(tb, n, n, n, opt);
+      if (rate == 0.0) base_elapsed = r.elapsed;
+      const double overhead = (r.elapsed - base_elapsed) / base_elapsed;
+      table.add_row(
+          {TableWriter::num(rate * 100.0, 1),
+           nonblocking ? "nonblocking" : "blocking", gf(r.gflops),
+           TableWriter::num(overhead * 100.0, 2),
+           TableWriter::num(static_cast<long long>(r.trace.rma_retries)),
+           TableWriter::num(static_cast<long long>(r.trace.faults_delayed)),
+           ms(r.trace.time_recovery)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: zero rows show the disabled-plane "
+               "baseline; at 1% the blocking arm loses a larger fraction "
+               "than the pipeline, which hides retried prefetches behind "
+               "compute.\n";
+  return 0;
+}

@@ -5,6 +5,12 @@
 #       running test_gemm_kernels under the sanitizers;
 #   1c. the full suite again with the shadow-state RMA checker enabled
 #       (SRUMMA_RMA_CHECK=1) — any diagnostic fails the run;
+#   1d. the fault matrix (docs/FAULTS.md): the dedicated fault suites
+#       (ctest label `faults`) in a clean environment, then the rest of
+#       the suite with low-rate fail+delay injection and a raised retry
+#       budget — every code path must survive transparent retries.
+#       Corruption is only injected inside the labeled suites, which
+#       verify and repair it; unsuspecting tests would (correctly) fail.
 #   2.  a TSan build running the concurrency-heavy suites
 #       (test_rma, test_runtime, test_srumma, test_rma_checker);
 #   3.  static analysis via scripts/lint.sh.
@@ -37,6 +43,18 @@ ctest --test-dir "$asan_build" --output-on-failure -R '^test_gemm_kernels$'
 echo
 echo "== tier 1c: full suite with the RMA checker enabled ($build) =="
 SRUMMA_RMA_CHECK=1 ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+echo
+echo "== tier 1d: fault matrix (label 'faults', then injected full pass) =="
+ctest --test-dir "$build" --output-on-failure -L faults
+# Low-rate transient failures + stragglers across every other suite; the
+# raised attempt budget makes retry exhaustion statistically impossible,
+# so any failure here is a real retry-path bug.  The `faults` suites are
+# excluded: they assert clean-environment baselines and inject their own.
+SRUMMA_FAULT_FAIL_RATE=0.002 \
+SRUMMA_FAULT_DELAY_RATE=0.002 \
+SRUMMA_FAULT_MAX_ATTEMPTS=20 \
+  ctest --test-dir "$build" --output-on-failure -j "$jobs" -LE faults
 
 echo
 echo "== tier 2: concurrency suites under TSan ($tsan_build) =="

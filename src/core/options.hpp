@@ -70,6 +70,14 @@ struct SrummaOptions {
   /// pipeline's patch buffers fit — the "memory efficient" operating mode.
   /// Explicit c_chunk/k_chunk values are only ever shrunk, never grown.
   std::uint64_t max_buffer_bytes = 0;
+
+  /// Verify every freshly fetched copy-path operand patch against the
+  /// owners' segments before dgemm consumes it (the checksum stand-in; see
+  /// docs/FAULTS.md).  A mismatch — e.g. an injected payload corruption —
+  /// triggers a refetch of the patch before the block product runs, so the
+  /// multiply survives corrupt transfers at the cost of a local memory scan
+  /// per fetched patch.  No effect on direct-access or phantom operands.
+  bool verify_checksums = false;
 };
 
 }  // namespace srumma

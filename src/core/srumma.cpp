@@ -21,6 +21,11 @@ struct OperandState {
   index_t i0 = -1, j0 = -1, m = -1, n = -1;
   bool valid = false;
   bool direct = false;
+  // The fetch behind this state exhausted its RMA retries: the buffer
+  // contents are unreliable.  Every task that reads it must be requeued,
+  // including later A-reuse consumers — the flag stays set until the state
+  // is re-acquired, and matches() refuses to pair a new task with it.
+  bool failed = false;
   double rate_factor = 1.0;  // dgemm rate multiplier for direct access
   // Modeled buffer capacity this state has grown to via copy-path
   // acquires (tracked even in phantom mode, where nothing is allocated).
@@ -32,7 +37,7 @@ struct OperandState {
 
   [[nodiscard]] bool matches(index_t pi0, index_t pj0, index_t pm,
                              index_t pn) const {
-    return valid && i0 == pi0 && j0 == pj0 && m == pm && n == pn;
+    return valid && !failed && i0 == pi0 && j0 == pj0 && m == pm && n == pn;
   }
 };
 
@@ -47,12 +52,20 @@ void acquire(Rank& me, DistMatrix& mat, index_t i0, index_t j0, index_t mi,
   st.m = mi;
   st.n = nj;
   st.valid = true;
+  st.failed = false;
   st.rate_factor = 1.0;
 
   if (flavor == ShmFlavor::Direct) {
     const std::optional<int> owner =
         mat.single_owner_in_domain(me, i0, j0, mi, nj);
-    if (owner.has_value()) {
+    fault::FaultPlane* fp = me.team().faults();
+    if (owner.has_value() && fp != nullptr &&
+        fp->direct_faults(mm.domain_of(*owner))) {
+      // Direct loads/stores into this domain fault (injected dead domain):
+      // degrade this peer's access flavor to Copy — the one-sided get path
+      // below still works, it just pays the buffer.
+      me.trace().shm_fallbacks += 1;
+    } else if (owner.has_value()) {
       st.direct = true;
       // dgemm streams operands straight out of the owner's memory; when the
       // owner sits on another physical node the kernel runs at the
@@ -90,6 +103,32 @@ void acquire(Rank& me, DistMatrix& mat, index_t i0, index_t j0, index_t mi,
       static_cast<std::uint64_t>(mi) * static_cast<std::uint64_t>(nj) *
           sizeof(double));
   me.trace().copy_tasks += 1;
+}
+
+// Checksum stand-in for a freshly fetched copy-path patch: compare the
+// buffer against the owners' (quiescent) segments and refetch on mismatch.
+// Bounded — a refetch draws fresh fault decisions and can be corrupted
+// again, but 16 consecutive corruptions at any sane injection rate means
+// the configuration is broken, not unlucky.  A refetch that itself
+// exhausts its RMA retries marks the state failed so the consuming task
+// requeues through the normal degradation path.
+void verify_operand(Rank& me, DistMatrix& mat, OperandState& st) {
+  if (st.direct || st.failed || mat.phantom()) return;
+  int redos = 0;
+  while (!mat.verify_fetched(me, st.i0, st.j0, st.m, st.n, st.view)) {
+    SRUMMA_REQUIRE(++redos <= 16,
+                   "srumma: fetched patch still corrupt after 16 refetches");
+    const double t0 = me.clock().now();
+    MatrixView dst = st.buf.block(0, 0, st.m, st.n);
+    PatchHandle h = mat.fetch_nb(me, st.i0, st.j0, st.m, st.n, dst);
+    const bool ok = mat.try_wait(me, h);
+    me.trace().checksum_redos += 1;
+    me.trace().time_recovery += me.clock().now() - t0;
+    if (!ok) {
+      st.failed = true;
+      return;
+    }
+  }
 }
 
 }  // namespace
@@ -161,7 +200,12 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
   std::vector<OperandState> b_state(n_slots);
   std::vector<std::size_t> slot_a(n_slots, 0);
 
-  const auto& tasks = plan.tasks;
+  // Mutable working copy: a task whose fetch exhausts its RMA retries is
+  // re-enqueued at the tail (graceful degradation instead of aborting the
+  // whole multiply), so the list can grow while we walk it.
+  std::vector<Task> tasks = plan.tasks;
+  const std::size_t requeue_cap = 4 * plan.tasks.size() + 16;
+  std::size_t requeues = 0;
 
   auto issue = [&](std::size_t t_idx) {
     const Task& t = tasks[t_idx];
@@ -209,12 +253,37 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
            next_issue <= t_idx + static_cast<std::size_t>(lookahead)) {
       issue(next_issue++);
     }
-    const Task& t = tasks[t_idx];
+    // By value: a requeue below push_backs into `tasks`, which may
+    // reallocate out from under a reference.
+    const Task t = tasks[t_idx];
     const std::size_t slot = t_idx % n_slots;
     OperandState& as = a_state[slot_a[slot]];
     OperandState& bs = b_state[slot];
-    if (as.handle.pending) a.wait(me, as.handle);
-    if (bs.handle.pending) b.wait(me, bs.handle);
+    const bool a_fetched = as.handle.pending;
+    const bool b_fetched = bs.handle.pending;
+    if (a_fetched && !a.try_wait(me, as.handle)) as.failed = true;
+    if (b_fetched && !b.try_wait(me, bs.handle)) bs.failed = true;
+    if (opt.verify_checksums) {
+      // Only freshly completed fetches: a reused A patch was verified when
+      // its first consumer waited on it, and the panels are read-only for
+      // the rest of the multiply.
+      if (a_fetched) verify_operand(me, a, as);
+      if (b_fetched) verify_operand(me, b, bs);
+    }
+    if (as.failed || bs.failed) {
+      // Exhausted retries on an operand: push the task to the tail and move
+      // on — the pipeline refetches it with fresh handles later (each retry
+      // of the tail copy draws new fault decisions).  The failed flag stays
+      // on the state so in-flight A-reuse consumers of the same patch also
+      // requeue rather than compute on unreliable data.
+      SRUMMA_REQUIRE(requeues < requeue_cap,
+                     "srumma: task requeue budget exhausted — transfers keep "
+                     "failing after RMA retries");
+      ++requeues;
+      me.trace().task_requeues += 1;
+      tasks.push_back(t);
+      continue;
+    }
 
     if (!c.phantom()) {
       MatrixView c_tile = c.local_view(me).block(t.ci, t.cj, t.cm, t.cn);

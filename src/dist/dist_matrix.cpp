@@ -1,6 +1,7 @@
 #include "dist/dist_matrix.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/rng.hpp"
 
@@ -212,6 +213,40 @@ void DistMatrix::wait(Rank& me, PatchHandle& h) {
     if (piece.pending) rma_->wait(me, piece);
   }
   h.pending = false;
+}
+
+bool DistMatrix::try_wait(Rank& me, PatchHandle& h) {
+  if (!h.pending) return true;
+  bool ok = true;
+  for (auto& piece : h.pieces) {
+    if (piece.pending && rma_->try_wait(me, piece) != RmaStatus::Ok)
+      ok = false;
+  }
+  h.pending = false;
+  return ok;
+}
+
+bool DistMatrix::verify_fetched(Rank& me, index_t i0, index_t j0, index_t mi,
+                                index_t nj, ConstMatrixView dst) {
+  check_rect(i0, j0, mi, nj);
+  if (phantom_ || mi == 0 || nj == 0) return true;
+  SRUMMA_REQUIRE(dst.rows() == mi && dst.cols() == nj,
+                 "verify_fetched: view must match patch extent");
+  bool ok = true;
+  for_each_piece(i0, j0, mi, nj, [&](const Piece& p) {
+    if (p.owner_ptr == nullptr || !ok) return;
+    const double* d = dst.data() + (p.gi - i0) + (p.gj - j0) * dst.ld();
+    for (index_t c = 0; c < p.cols && ok; ++c) {
+      if (std::memcmp(d + c * dst.ld(), p.owner_ptr + c * p.owner_ld,
+                      static_cast<std::size_t>(p.rows) * sizeof(double)) != 0)
+        ok = false;
+    }
+  });
+  // The verification pass itself: one local memory scan over the patch.
+  const double bytes = static_cast<double>(mi) * static_cast<double>(nj) *
+                       sizeof(double);
+  me.charge_seconds(bytes / me.machine().host_copy_bw);
+  return ok;
 }
 
 void DistMatrix::fill_coords_local(Rank& me) {

@@ -134,6 +134,21 @@ class DistMatrix {
   /// Complete a generalized one-sided operation.
   void wait(Rank& me, PatchHandle& h);
 
+  /// Like wait(), but reports per-piece retry exhaustion instead of
+  /// throwing: returns true when every piece delivered (RmaStatus::Ok).
+  /// All pieces are completed either way, so drain loops stay balanced.
+  bool try_wait(Rank& me, PatchHandle& h);
+
+  /// Verify a fetched patch bitwise against the owners' live segments (the
+  /// checksum stand-in: in a real runtime this would compare transported
+  /// checksums).  Returns false when the copy differs — e.g. an injected
+  /// payload corruption — in which case the caller should refetch.  Charges
+  /// a local memory scan of the patch; trivially true for phantom matrices.
+  /// Only valid while the owners' data is quiescent (SRUMMA's A/B panels
+  /// are read-only during the multiply).
+  bool verify_fetched(Rank& me, index_t i0, index_t j0, index_t mi, index_t nj,
+                      ConstMatrixView dst);
+
   /// Fill my local block with the deterministic coordinate function so that
   /// distributed and serial copies of the same logical matrix agree.
   void fill_coords_local(Rank& me);

@@ -1,0 +1,168 @@
+#include "fault/fault_plane.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace srumma::fault {
+
+namespace {
+
+// splitmix64 finalizer: mixes (seed, rank, seq) into one well-distributed
+// word used to seed the per-decision Rng.  Matches the style of the
+// deterministic noise jitter in Rank::consume_cpu.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t combine(std::uint64_t seed, std::uint64_t stream,
+                      std::uint64_t rank, std::uint64_t seq) noexcept {
+  std::uint64_t x = seed;
+  x = mix(x + 0x9e3779b97f4a7c15ULL * (stream + 1));
+  x = mix(x + 0x9e3779b97f4a7c15ULL * (rank + 1));
+  x = mix(x + 0x9e3779b97f4a7c15ULL * (seq + 1));
+  return x;
+}
+
+bool env_flag_present(const char* name, bool& any) {
+  if (std::getenv(name) != nullptr) any = true;
+  return any;
+}
+
+void parse_double(const char* name, double& out, bool& any) {
+  if (const char* v = std::getenv(name)) {
+    out = std::strtod(v, nullptr);
+    any = true;
+  }
+}
+
+void parse_int(const char* name, int& out, bool& any) {
+  if (const char* v = std::getenv(name)) {
+    out = static_cast<int>(std::strtol(v, nullptr, 10));
+    any = true;
+  }
+}
+
+void parse_u64(const char* name, std::uint64_t& out, bool& any) {
+  if (const char* v = std::getenv(name)) {
+    out = std::strtoull(v, nullptr, 10);
+    any = true;
+  }
+}
+
+}  // namespace
+
+std::optional<FaultConfig> FaultConfig::from_env() {
+  FaultConfig cfg;
+  bool any = false;
+  parse_u64("SRUMMA_FAULT_SEED", cfg.seed, any);
+  parse_double("SRUMMA_FAULT_FAIL_RATE", cfg.fail_rate, any);
+  parse_double("SRUMMA_FAULT_CORRUPT_RATE", cfg.corrupt_rate, any);
+  parse_double("SRUMMA_FAULT_DELAY_RATE", cfg.delay_rate, any);
+  parse_double("SRUMMA_FAULT_DELAY_FACTOR", cfg.delay_factor, any);
+  parse_int("SRUMMA_FAULT_STRAGGLER_NODE", cfg.straggler_node, any);
+  parse_double("SRUMMA_FAULT_STRAGGLER_FACTOR", cfg.straggler_factor, any);
+  parse_int("SRUMMA_FAULT_DEAD_DOMAIN", cfg.dead_domain, any);
+  parse_int("SRUMMA_FAULT_ONLY_RANK", cfg.only_rank, any);
+  parse_int("SRUMMA_FAULT_ONLY_PEER", cfg.only_peer, any);
+  parse_u64("SRUMMA_FAULT_FIRST_OP", cfg.first_op, any);
+  parse_u64("SRUMMA_FAULT_LAST_OP", cfg.last_op, any);
+  parse_double("SRUMMA_FAULT_AFTER_VTIME", cfg.after_vtime, any);
+  env_flag_present("SRUMMA_FAULT", any);  // bare switch: defaults, no faults
+  if (!any) return std::nullopt;
+  return cfg;
+}
+
+FaultPlane::FaultPlane(const MachineModel& machine, FaultConfig cfg)
+    : cfg_(cfg),
+      machine_(machine),
+      op_seq_(static_cast<std::size_t>(machine.total_ranks())),
+      msg_seq_(static_cast<std::size_t>(machine.total_ranks())) {
+  SRUMMA_REQUIRE(cfg_.fail_rate >= 0.0 && cfg_.fail_rate <= 1.0 &&
+                     cfg_.corrupt_rate >= 0.0 && cfg_.corrupt_rate <= 1.0 &&
+                     cfg_.delay_rate >= 0.0 && cfg_.delay_rate <= 1.0,
+                 "FaultConfig: rates must lie in [0, 1]");
+  SRUMMA_REQUIRE(cfg_.delay_factor >= 1.0 && cfg_.straggler_factor >= 1.0,
+                 "FaultConfig: delay factors must be >= 1");
+  any_random_ =
+      cfg_.fail_rate > 0.0 || cfg_.corrupt_rate > 0.0 || cfg_.delay_rate > 0.0;
+  reset();
+}
+
+bool FaultPlane::in_scope(int rank, int peer, std::uint64_t seq,
+                          double vtime) const noexcept {
+  if (cfg_.only_rank >= 0 && rank != cfg_.only_rank) return false;
+  if (cfg_.only_peer >= 0 && peer != cfg_.only_peer) return false;
+  if (seq < cfg_.first_op || seq > cfg_.last_op) return false;
+  return vtime >= cfg_.after_vtime;
+}
+
+FaultDecision FaultPlane::on_transfer(int rank, int owner,
+                                      double issue_vtime) noexcept {
+  FaultDecision d;
+  if (!any_random_) return d;
+  const std::uint64_t seq =
+      op_seq_[static_cast<std::size_t>(rank)].fetch_add(
+          1, std::memory_order_relaxed);
+  if (!in_scope(rank, owner, seq, issue_vtime)) return d;
+  Rng rng(combine(cfg_.seed, /*stream=*/0,
+                  static_cast<std::uint64_t>(rank), seq));
+  // Fixed draw order so adding one knob never shifts another's stream.
+  const double u_fail = rng.uniform();
+  const double u_corrupt = rng.uniform();
+  const double u_delay = rng.uniform();
+  d.fail = u_fail < cfg_.fail_rate;
+  // A failed transfer delivers nothing, so corruption only applies to
+  // transfers that complete.
+  d.corrupt = !d.fail && u_corrupt < cfg_.corrupt_rate;
+  if (u_delay < cfg_.delay_rate) d.delay = cfg_.delay_factor;
+  return d;
+}
+
+double FaultPlane::on_message(int rank, int dst, double issue_vtime) noexcept {
+  if (!any_random_ || cfg_.delay_rate <= 0.0) return 1.0;
+  const std::uint64_t seq =
+      msg_seq_[static_cast<std::size_t>(rank)].fetch_add(
+          1, std::memory_order_relaxed);
+  if (!in_scope(rank, dst, seq, issue_vtime)) return 1.0;
+  Rng rng(combine(cfg_.seed, /*stream=*/1,
+                  static_cast<std::uint64_t>(rank), seq));
+  return rng.uniform() < cfg_.delay_rate ? cfg_.delay_factor : 1.0;
+}
+
+void FaultPlane::corrupt_payload(double* dst, index_t ld, index_t rows,
+                                 index_t cols, std::uint64_t salt) noexcept {
+  if (dst == nullptr || rows <= 0 || cols <= 0) return;  // phantom buffer
+  const std::uint64_t h = mix(salt + 0x9e3779b97f4a7c15ULL);
+  const auto i = static_cast<index_t>(h % static_cast<std::uint64_t>(rows));
+  const auto j = static_cast<index_t>((h >> 20) %
+                                      static_cast<std::uint64_t>(cols));
+  double& cell = dst[i + j * ld];
+  std::uint64_t bits;
+  std::memcpy(&bits, &cell, sizeof(bits));
+  // Flip one mantissa bit: the value stays finite, but any bitwise
+  // comparison against the owner's copy detects it.
+  bits ^= std::uint64_t{1} << (h % 52);
+  std::memcpy(&cell, &bits, sizeof(bits));
+}
+
+void FaultPlane::reset() noexcept {
+  for (auto& c : op_seq_) c.store(0, std::memory_order_relaxed);
+  for (auto& c : msg_seq_) c.store(0, std::memory_order_relaxed);
+}
+
+std::shared_ptr<FaultPlane> plane_from_env(const MachineModel& machine) {
+  if (auto cfg = FaultConfig::from_env())
+    return std::make_shared<FaultPlane>(machine, *cfg);
+  return nullptr;
+}
+
+}  // namespace srumma::fault

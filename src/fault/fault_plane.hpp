@@ -1,0 +1,143 @@
+#pragma once
+// Deterministic fault-injection plane for the communication layers.
+//
+// SRUMMA's owner-computes design assumes every one-sided transfer succeeds
+// on first issue; this plane lets the runtime prove otherwise on purpose.
+// A FaultPlane is attached to a Team (one per team; nullptr when disabled —
+// the same zero-cost null-test pattern as the RMA checker) and consulted by
+// RmaRuntime at every nb* issue and by msg::Comm when scheduling wire
+// transfers.  Injectable fault classes:
+//
+//   * transient failure   — the handle completes in an error state and the
+//                           payload is NOT delivered (RetryPolicy re-issues);
+//   * payload corruption  — the transfer completes normally but one element
+//                           of the destination buffer has a flipped mantissa
+//                           bit (detectable by checksum verification);
+//   * delayed completion  — the modeled wire/copy time is multiplied by
+//                           delay_factor (a random straggler op);
+//   * straggler link      — every inter-node transfer touching one node is
+//                           slowed by a constant factor (a persistently slow
+//                           link rather than a random event);
+//   * dead shm domain     — direct load/store reach-through into segments
+//                           owned by one shared-memory domain faults, forcing
+//                           the pipeline to degrade ShmFlavor::Direct to Copy.
+//
+// Determinism: every random decision is drawn from util/rng seeded by
+// (seed, rank, that rank's own op sequence number).  Each rank's decision
+// stream depends only on its own issue order, never on thread interleaving,
+// so runs replay exactly — including under retries, because a re-issued op
+// advances the sequence and draws fresh values.
+//
+// Faults can be scoped per rank (`only_rank`), per target (`only_peer`) and
+// scheduled by op count (`first_op`/`last_op`, per-rank) or virtual time
+// (`after_vtime`).  Environment knobs (SRUMMA_FAULT_*) are documented in
+// docs/FAULTS.md.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "util/matrix.hpp"
+
+namespace srumma::fault {
+
+/// Injection knobs.  All rates are probabilities in [0, 1] per operation.
+struct FaultConfig {
+  std::uint64_t seed = 0x5eed;
+
+  // -- random per-op faults (RMA layer) -------------------------------------
+  double fail_rate = 0.0;     ///< transient nbget/nbput/nbacc failure
+  double corrupt_rate = 0.0;  ///< destination-payload bit flip
+  double delay_rate = 0.0;    ///< straggler op (wire time multiplied)
+  double delay_factor = 8.0;  ///< multiplier for delayed ops (>= 1)
+
+  // -- deterministic structural faults --------------------------------------
+  /// Node id whose inter-node links are persistently slow (-1 = none).
+  int straggler_node = -1;
+  double straggler_factor = 8.0;  ///< wire-time multiplier on that link
+  /// Shared-memory domain whose segments fault under direct load/store
+  /// (-1 = none).  Copy-path (get/put) access still works.
+  int dead_domain = -1;
+
+  // -- scoping & scheduling -------------------------------------------------
+  int only_rank = -1;  ///< restrict random faults to ops issued by this rank
+  int only_peer = -1;  ///< restrict random faults to ops targeting this owner
+  std::uint64_t first_op = 0;  ///< per-rank op index window [first, last]
+  std::uint64_t last_op = ~std::uint64_t{0};
+  double after_vtime = 0.0;  ///< only ops issued at/after this virtual time
+
+  /// Parse the SRUMMA_FAULT_* environment; nullopt when no knob is set.
+  [[nodiscard]] static std::optional<FaultConfig> from_env();
+};
+
+/// Outcome of one per-op draw.
+struct FaultDecision {
+  bool fail = false;
+  bool corrupt = false;
+  double delay = 1.0;  ///< wire/copy time multiplier (1.0 = undisturbed)
+};
+
+class FaultPlane {
+ public:
+  FaultPlane(const MachineModel& machine, FaultConfig cfg);
+  FaultPlane(const FaultPlane&) = delete;
+  FaultPlane& operator=(const FaultPlane&) = delete;
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return cfg_; }
+
+  /// Draw the fate of one one-sided transfer issued by `rank` against
+  /// `owner`.  Advances `rank`'s op sequence; must be called from that
+  /// rank's own thread (which every nb* issue path guarantees).
+  [[nodiscard]] FaultDecision on_transfer(int rank, int owner,
+                                          double issue_vtime) noexcept;
+
+  /// Draw the fate of one two-sided message sent by `rank` to `dst`.
+  /// Separate per-rank sequence from on_transfer; only the delay channel
+  /// applies (two-sided retry semantics are out of scope).
+  [[nodiscard]] double on_message(int rank, int dst,
+                                  double issue_vtime) noexcept;
+
+  /// Constant wire-time multiplier for the src -> dst inter-node link
+  /// (the straggler-link knob; 1.0 for healthy links).
+  [[nodiscard]] double link_delay(int src_node, int dst_node) const noexcept {
+    return (cfg_.straggler_node >= 0 && (src_node == cfg_.straggler_node ||
+                                         dst_node == cfg_.straggler_node))
+               ? cfg_.straggler_factor
+               : 1.0;
+  }
+
+  /// True when direct load/store into segments owned by `domain` faults.
+  [[nodiscard]] bool direct_faults(int domain) const noexcept {
+    return cfg_.dead_domain >= 0 && domain == cfg_.dead_domain;
+  }
+
+  /// Deterministically flip one mantissa bit of one element of a rows x
+  /// cols column-major patch (ld >= rows).  `salt` decorrelates repeated
+  /// corruptions of one buffer.
+  static void corrupt_payload(double* dst, index_t ld, index_t rows,
+                              index_t cols, std::uint64_t salt) noexcept;
+
+  /// Restart every rank's op sequence so a re-run replays the same faults
+  /// (called by Team::reset).
+  void reset() noexcept;
+
+ private:
+  [[nodiscard]] bool in_scope(int rank, int peer, std::uint64_t seq,
+                              double vtime) const noexcept;
+
+  FaultConfig cfg_;
+  MachineModel machine_;
+  bool any_random_ = false;
+  std::vector<std::atomic<std::uint64_t>> op_seq_;   // per rank, RMA ops
+  std::vector<std::atomic<std::uint64_t>> msg_seq_;  // per rank, messages
+};
+
+/// Convenience: build a plane from the environment (nullptr when no
+/// SRUMMA_FAULT_* knob is set).
+[[nodiscard]] std::shared_ptr<FaultPlane> plane_from_env(
+    const MachineModel& machine);
+
+}  // namespace srumma::fault

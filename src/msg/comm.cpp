@@ -24,10 +24,25 @@ Comm::Comm(Team& team, MsgConfig cfg)
   mailboxes_.reserve(static_cast<std::size_t>(team.size()));
   for (int r = 0; r < team.size(); ++r)
     mailboxes_.push_back(std::make_unique<Mailbox>());
+  // Let Team::abort wake ranks parked in mailbox waits promptly.
+  for (auto& box : mailboxes_) team_.add_abort_cv(&box->cv);
+}
+
+Comm::~Comm() {
+  for (auto& box : mailboxes_) team_.remove_abort_cv(&box->cv);
+}
+
+double Comm::draw_msg_delay(Rank& me, int dst) {
+  fault::FaultPlane* fp = team_.faults();
+  if (fp == nullptr) return 1.0;
+  const double factor = fp->on_message(me.id(), dst, me.clock().now());
+  if (factor > 1.0) me.trace().faults_delayed += 1;
+  return factor;
 }
 
 double Comm::schedule_wire(int src_rank, int dst_rank, std::size_t bytes,
-                           double ready, double* duration_out) {
+                           double ready, double* duration_out,
+                           double fault_factor) {
   const MachineModel& mm = team_.machine();
   if (bytes == 0) {
     if (duration_out) *duration_out = 0.0;
@@ -41,6 +56,7 @@ double Comm::schedule_wire(int src_rank, int dst_rank, std::size_t bytes,
     // library's internal copy rate (slower than an optimized block copy —
     // the gap the paper's Fig. 6 measures on the Cray X1).
     dur = dbytes / mm.mpi_copy_bw;
+    if (fault_factor > 1.0) dur *= fault_factor;
     const double agg = team_.network()
                            .domain_mem(mm.domain_of(src_rank))
                            .book(ready, dbytes / mm.domain_agg_bw());
@@ -51,6 +67,11 @@ double Comm::schedule_wire(int src_rank, int dst_rank, std::size_t bytes,
     // host-CPU staging copies; the paper's Fig. 8 shows MPI and LAPI get
     // reaching similar, sub-wire bandwidth on the SP for this reason.
     if (!mm.zero_copy) dur += dbytes / mm.host_copy_bw;
+    if (fault::FaultPlane* fp = team_.faults()) {
+      // Injected sender-drawn delay plus the persistent straggler link.
+      dur *= fault_factor *
+             fp->link_delay(mm.node_of(src_rank), mm.node_of(dst_rank));
+    }
     const double c1 = team_.network().nic_out(mm.node_of(src_rank)).book(ready, dur);
     const double c2 = team_.network().nic_in(mm.node_of(dst_rank)).book(ready, dur);
     completion = std::max(c1, c2);
@@ -61,11 +82,12 @@ double Comm::schedule_wire(int src_rank, int dst_rank, std::size_t bytes,
 
 double Comm::schedule_rendezvous(int src_rank, int dst_rank, std::size_t bytes,
                                  double sender_ready, double recv_ready,
-                                 double* duration_out) {
+                                 double* duration_out, double fault_factor) {
   const MachineModel& mm = team_.machine();
   const double start = std::max(sender_ready, recv_ready) +
                        mm.rendezvous_setup * mm.mpi_latency;
-  return schedule_wire(src_rank, dst_rank, bytes, start, duration_out);
+  return schedule_wire(src_rank, dst_rank, bytes, start, duration_out,
+                       fault_factor);
 }
 
 void Comm::send_eager(Rank& me, int dst, int tag, const double* buf,
@@ -75,6 +97,7 @@ void Comm::send_eager(Rank& me, int dst, int tag, const double* buf,
   // Sender-side: per-message latency plus the copy into the eager buffer.
   me.clock().advance(mm.mpi_latency +
                      static_cast<double>(bytes) / mm.mpi_copy_bw);
+  const double fault_factor = draw_msg_delay(me, dst);
   double dur = 0.0;
   double arrival;
   if (mm.same_domain(me.id(), dst)) {
@@ -82,7 +105,8 @@ void Comm::send_eager(Rank& me, int dst, int tag, const double* buf,
     // plus the shared-memory handoff latency; no extra staged copy.
     arrival = me.clock().now() + mm.shm_latency;
   } else {
-    arrival = schedule_wire(me.id(), dst, bytes, me.clock().now(), &dur);
+    arrival =
+        schedule_wire(me.id(), dst, bytes, me.clock().now(), &dur, fault_factor);
   }
   me.trace().time_comm += dur;
   me.trace().bytes_msg += bytes;
@@ -123,6 +147,9 @@ void Comm::send_blocking_rendezvous(Rank& me, int dst, int tag,
   const std::size_t bytes = elems * sizeof(double);
   me.clock().advance(mm.mpi_latency);  // RTS
   const double sender_ready = me.clock().now();
+  // Drawn here, on the sender's thread, even though the wire may be
+  // scheduled later from the receiver's thread (see UnexpectedMsg).
+  const double fault_factor = draw_msg_delay(me, dst);
   me.trace().bytes_msg += bytes;
   me.trace().sends += 1;
 
@@ -139,7 +166,8 @@ void Comm::send_blocking_rendezvous(Rank& me, int dst, int tag,
           std::memcpy(pr.buf, buf, bytes);
         double dur = 0.0;
         const double completion = schedule_rendezvous(
-            me.id(), dst, bytes, sender_ready, pr.posted_vt, &dur);
+            me.id(), dst, bytes, sender_ready, pr.posted_vt, &dur,
+            fault_factor);
         me.trace().time_comm += dur;
         pr.completion = completion;
         pr.done = true;
@@ -160,6 +188,7 @@ void Comm::send_blocking_rendezvous(Rank& me, int dst, int tag,
       um.src_buf = buf;
       um.sender_ready_vt = sender_ready;
       um.rv = rv;
+      um.delay_factor = fault_factor;
       box.unexpected.push_back(std::move(um));
       box.cv.notify_all();
       // Block until the receiver matches the RTS and schedules the wire.
@@ -244,7 +273,7 @@ RecvHandle Comm::irecv(Rank& me, int src, int tag, double* buf,
         double dur = 0.0;
         h.completion =
             schedule_rendezvous(src, me.id(), bytes, it->sender_ready_vt,
-                                me.clock().now(), &dur);
+                                me.clock().now(), &dur, it->delay_factor);
         me.trace().time_comm += dur;
         it->rv->completion = h.completion;
         it->rv->done = true;

@@ -69,6 +69,7 @@ class Comm {
   /// constructed inside Team::run is private to its rank and any receive
   /// on it deadlocks.
   explicit Comm(Team& team, MsgConfig cfg = {});
+  ~Comm();
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
 
@@ -132,6 +133,10 @@ class Comm {
     const double* src_buf = nullptr;
     double sender_ready_vt = 0.0;
     std::shared_ptr<RvState> rv;
+    /// Injected straggler factor, drawn on the *sender's* thread at send
+    /// time (fault decisions must never depend on which thread matches the
+    /// message) and applied when the wire transfer is scheduled.
+    double delay_factor = 1.0;
   };
 
   struct Mailbox {
@@ -143,13 +148,21 @@ class Comm {
 
   /// Schedule the payload movement between two ranks; returns completion.
   /// `ready` is when both endpoints are ready for the wire transfer.
+  /// `fault_factor` multiplies the wire time (sender-drawn injected delay;
+  /// the static straggler-link factor is applied here as well).
   double schedule_wire(int src_rank, int dst_rank, std::size_t bytes,
-                       double ready, double* duration_out);
+                       double ready, double* duration_out,
+                       double fault_factor = 1.0);
 
   /// Rendezvous: handshake + wire; both endpoints complete together.
   double schedule_rendezvous(int src_rank, int dst_rank, std::size_t bytes,
                              double sender_ready, double recv_ready,
-                             double* duration_out);
+                             double* duration_out, double fault_factor = 1.0);
+
+  /// Sender-side injected delay draw for one message (1.0 when the fault
+  /// plane is off).  Must run on the sending rank's own thread so decision
+  /// streams replay independently of message-matching order.
+  double draw_msg_delay(Rank& me, int dst);
 
   void send_blocking_rendezvous(Rank& me, int dst, int tag, const double* buf,
                                 std::size_t elems);

@@ -1,21 +1,48 @@
 #include "rma/rma.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "runtime/abortable_wait.hpp"
 #include "util/error.hpp"
 
 namespace srumma {
 
+RetryPolicy RetryPolicy::from_env(RetryPolicy base) {
+  if (const char* v = std::getenv("SRUMMA_FAULT_MAX_ATTEMPTS"))
+    base.max_attempts = static_cast<int>(std::strtol(v, nullptr, 10));
+  if (const char* v = std::getenv("SRUMMA_FAULT_BACKOFF_BASE"))
+    base.backoff_base = std::strtod(v, nullptr);
+  if (const char* v = std::getenv("SRUMMA_FAULT_BACKOFF_MULT"))
+    base.backoff_mult = std::strtod(v, nullptr);
+  if (const char* v = std::getenv("SRUMMA_FAULT_OP_TIMEOUT"))
+    base.op_timeout = std::strtod(v, nullptr);
+  return base;
+}
+
 RmaRuntime::RmaRuntime(Team& team, RmaConfig cfg)
     : team_(team),
       zero_copy_(cfg.zero_copy.value_or(team.machine().zero_copy)),
+      retry_(cfg.retry ? *cfg.retry : RetryPolicy::from_env()),
       next_alloc_seq_(static_cast<std::size_t>(team.size()), 0),
       next_free_seq_(static_cast<std::size_t>(team.size()), 0) {
+  SRUMMA_REQUIRE(retry_.max_attempts >= 1 && retry_.backoff_base >= 0.0 &&
+                     retry_.backoff_mult >= 1.0 && retry_.op_timeout >= 0.0,
+                 "RetryPolicy: invalid parameters");
+  if (cfg.faults)
+    team_.set_fault_plane(
+        std::make_shared<fault::FaultPlane>(team_.machine(), *cfg.faults));
   if (cfg.check.value_or(check::RmaChecker::env_enabled()))
     checker_ = std::make_unique<check::RmaChecker>(team, cfg.check_throw);
+  // Let Team::abort wake ranks parked in a collective allocation promptly.
+  team_.add_abort_cv(&alloc_cv_);
 }
+
+RmaRuntime::~RmaRuntime() { team_.remove_abort_cv(&alloc_cv_); }
 
 void RmaRuntime::validate2d(const char* op, int owner, index_t ld_src,
                             index_t rows, index_t cols, index_t ld_dst) const {
@@ -75,9 +102,21 @@ void RmaRuntime::free_symmetric(Rank& me, const SymmetricRegion& region) {
     checker_->on_free(me.id(), region.seq, std::source_location::current());
   {
     std::unique_lock<std::mutex> lock(alloc_mu_);
-    SRUMMA_REQUIRE(live_allocs_.count(region.seq) == 1,
-                   "free_symmetric: region is not live");
-    if (++free_arrivals_[region.seq] == size) {
+    auto it = live_allocs_.find(region.seq);
+    SRUMMA_REQUIRE(it != live_allocs_.end(),
+                   "free_symmetric: region is not live (already freed, or "
+                   "never allocated by this runtime)");
+    // A foreign SymmetricRegion (allocated by another runtime instance) can
+    // collide on seq but never on the actual segment addresses.
+    SRUMMA_REQUIRE(it->second.bases == region.bases,
+                   "free_symmetric: region was not allocated by this runtime");
+    FreeRecord& fr = free_arrivals_[region.seq];
+    if (fr.freed.empty())
+      fr.freed.assign(static_cast<std::size_t>(size), 0);
+    char& mine = fr.freed[static_cast<std::size_t>(me.id())];
+    SRUMMA_REQUIRE(mine == 0, "free_symmetric: double free");
+    mine = 1;
+    if (++fr.arrived == size) {
       live_allocs_.erase(region.seq);
       free_arrivals_.erase(region.seq);
       alloc_cv_.notify_all();
@@ -101,9 +140,26 @@ RmaHandle RmaRuntime::transfer(Rank& me, int owner, std::size_t bytes,
   RmaHandle h;
   h.pending = true;
   h.issued = true;
+  h.attempts = 1;
+  h.issue_vt = t0;
   if (bytes == 0) {
     h.completion = t0;
     return h;
+  }
+
+  // Fault injection: draw this op's fate from the team's plane (nullptr in
+  // the common case — one branch, no arithmetic change when disabled).
+  fault::FaultDecision fd;
+  fault::FaultPlane* fp = team_.faults();
+  if (fp != nullptr) {
+    fd = fp->on_transfer(me.id(), owner, t0);
+    h.failed = fd.fail;
+    h.corrupted = fd.corrupt;
+    if (fd.fail) me.trace().faults_injected += 1;
+    if (fd.delay > 1.0) me.trace().faults_delayed += 1;
+    // faults_corrupted is counted where the corruption is applied: the nb*
+    // entry points (accumulates are exempt — a corrupted read-modify-write
+    // could not be redone, so the corrupt channel skips Acc ops).
   }
 
   const double dbytes = static_cast<double>(bytes);
@@ -112,7 +168,8 @@ RmaHandle RmaRuntime::transfer(Rank& me, int owner, std::size_t bytes,
     // cannot be overlapped with computation, so the cost is charged to the
     // clock synchronously.  The copy also queues on the domain's aggregate
     // memory system, so many ranks copying at once see reduced bandwidth.
-    const double dur = dbytes / mm.shm_bw;
+    double dur = dbytes / mm.shm_bw;
+    if (fp != nullptr) dur *= fd.delay;
     const double ready = t0 + mm.shm_latency;
     const double agg = team_.network()
                            .domain_mem(mm.domain_of(me.id()))
@@ -136,6 +193,7 @@ RmaHandle RmaRuntime::transfer(Rank& me, int owner, std::size_t bytes,
     }
     const int src_node = is_get ? mm.node_of(owner) : mm.node_of(me.id());
     const int dst_node = is_get ? mm.node_of(me.id()) : mm.node_of(owner);
+    if (fp != nullptr) dur *= fd.delay * fp->link_delay(src_node, dst_node);
     const double c1 = team_.network().nic_out(src_node).book(ready, dur);
     const double c2 = team_.network().nic_in(dst_node).book(ready, dur);
     h.completion = std::max(c1, c2);
@@ -157,17 +215,40 @@ void RmaRuntime::copy2d(const double* src, index_t ld_src, index_t rows,
   }
 }
 
+namespace {
+
+/// Deterministic per-op salt for payload corruption: virtual issue times
+/// are themselves deterministic, so this replays exactly.
+std::uint64_t corrupt_salt(int rank, int owner, double issue_vt) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) << 32) ^
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(owner)) ^
+         std::bit_cast<std::uint64_t>(issue_vt);
+}
+
+}  // namespace
+
 RmaHandle RmaRuntime::nbget(Rank& me, int owner, const double* src,
                             double* dst, std::size_t elems,
                             std::source_location site) {
   RmaHandle h = transfer(me, owner, elems * sizeof(double), /*is_get=*/true);
+  h.op.kind = ReplayOp::Kind::Get;
+  h.op.owner = owner;
+  h.op.src = src;
+  h.op.dst = dst;
+  h.op.elems = elems;
   if (checker_) {
     const auto n = static_cast<index_t>(elems);
     h.check_id = checker_->on_issue(me.id(), check::OpKind::Get, owner, src,
                                     shape(n, 1, n), dst, shape(n, 1, n), site);
   }
-  if (src != nullptr && dst != nullptr && elems > 0) {
+  if (!h.failed && src != nullptr && dst != nullptr && elems > 0) {
     std::memcpy(dst, src, elems * sizeof(double));
+    if (h.corrupted) {
+      const auto n = static_cast<index_t>(elems);
+      fault::FaultPlane::corrupt_payload(
+          dst, n, n, 1, corrupt_salt(me.id(), owner, h.issue_vt));
+      me.trace().faults_corrupted += 1;
+    }
   }
   me.trace().gets += 1;
   return h;
@@ -183,6 +264,14 @@ RmaHandle RmaRuntime::nbget2d(Rank& me, int owner, const double* src,
       sizeof(double);
   const double issued = me.clock().now();
   RmaHandle h = transfer(me, owner, bytes, /*is_get=*/true);
+  h.op.kind = ReplayOp::Kind::Get2d;
+  h.op.owner = owner;
+  h.op.src = src;
+  h.op.ld_src = ld_src;
+  h.op.rows = rows;
+  h.op.cols = cols;
+  h.op.dst = dst;
+  h.op.ld_dst = ld_dst;
   if (checker_) {
     h.check_id = checker_->on_issue(me.id(), check::OpKind::Get, owner, src,
                                     shape(rows, cols, ld_src), dst,
@@ -190,7 +279,15 @@ RmaHandle RmaRuntime::nbget2d(Rank& me, int owner, const double* src,
   }
   if (Timeline* tl = team_.timeline())
     tl->record(me.id(), EventKind::Get, issued, h.completion);
-  copy2d(src, ld_src, rows, cols, dst, ld_dst);
+  if (!h.failed) {
+    copy2d(src, ld_src, rows, cols, dst, ld_dst);
+    if (h.corrupted && src != nullptr && dst != nullptr && rows > 0 &&
+        cols > 0) {
+      fault::FaultPlane::corrupt_payload(
+          dst, ld_dst, rows, cols, corrupt_salt(me.id(), owner, h.issue_vt));
+      me.trace().faults_corrupted += 1;
+    }
+  }
   me.trace().gets += 1;
   return h;
 }
@@ -205,6 +302,14 @@ RmaHandle RmaRuntime::nbput2d(Rank& me, int owner, const double* src,
       sizeof(double);
   const double issued = me.clock().now();
   RmaHandle h = transfer(me, owner, bytes, /*is_get=*/false);
+  h.op.kind = ReplayOp::Kind::Put2d;
+  h.op.owner = owner;
+  h.op.src = src;
+  h.op.ld_src = ld_src;
+  h.op.rows = rows;
+  h.op.cols = cols;
+  h.op.dst = dst;
+  h.op.ld_dst = ld_dst;
   if (checker_) {
     h.check_id = checker_->on_issue(me.id(), check::OpKind::Put, owner, dst,
                                     shape(rows, cols, ld_dst), src,
@@ -212,7 +317,15 @@ RmaHandle RmaRuntime::nbput2d(Rank& me, int owner, const double* src,
   }
   if (Timeline* tl = team_.timeline())
     tl->record(me.id(), EventKind::Put, issued, h.completion);
-  copy2d(src, ld_src, rows, cols, dst, ld_dst);
+  if (!h.failed) {
+    copy2d(src, ld_src, rows, cols, dst, ld_dst);
+    if (h.corrupted && src != nullptr && dst != nullptr && rows > 0 &&
+        cols > 0) {
+      fault::FaultPlane::corrupt_payload(
+          dst, ld_dst, rows, cols, corrupt_salt(me.id(), owner, h.issue_vt));
+      me.trace().faults_corrupted += 1;
+    }
+  }
   me.trace().puts += 1;
   return h;
 }
@@ -226,15 +339,29 @@ RmaHandle RmaRuntime::nbacc2d(Rank& me, int owner, double alpha,
       static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) *
       sizeof(double);
   RmaHandle h = transfer(me, owner, bytes, /*is_get=*/false);
+  // Accumulates are exempt from the corruption channel: the read-modify-
+  // write could not be redone after a detected corruption (it is not
+  // idempotent), so only fail/delay apply.
+  h.corrupted = false;
+  h.op.kind = ReplayOp::Kind::Acc2d;
+  h.op.owner = owner;
+  h.op.alpha = alpha;
+  h.op.src = src;
+  h.op.ld_src = ld_src;
+  h.op.rows = rows;
+  h.op.cols = cols;
+  h.op.dst = dst;
+  h.op.ld_dst = ld_dst;
   if (checker_) {
     h.check_id = checker_->on_issue(me.id(), check::OpKind::Acc, owner, dst,
                                     shape(rows, cols, ld_dst), src,
                                     shape(rows, cols, ld_src), site);
   }
-  if (bytes > 0) {
+  if (bytes > 0 && !h.failed) {
     // The read-modify-write always runs on the owner's host CPU, even on
     // zero-copy networks: charge the add to the owner (remote) or to the
-    // origin (same domain — the origin CPU performs it).
+    // origin (same domain — the origin CPU performs it).  A failed attempt
+    // never reaches the owner, so it performs (and charges) no add.
     const MachineModel& mm = team_.machine();
     const double add_time =
         static_cast<double>(bytes) / mm.host_copy_bw;
@@ -245,7 +372,7 @@ RmaHandle RmaRuntime::nbacc2d(Rank& me, int owner, double alpha,
       h.completion += add_time;
     }
   }
-  if (src != nullptr && dst != nullptr && rows > 0 && cols > 0) {
+  if (!h.failed && src != nullptr && dst != nullptr && rows > 0 && cols > 0) {
     SRUMMA_REQUIRE(ld_src >= rows && ld_dst >= rows,
                    "nbacc2d: leading dimensions too small");
     std::lock_guard<std::mutex> lock(acc_mu_);
@@ -257,18 +384,118 @@ RmaHandle RmaRuntime::nbacc2d(Rank& me, int owner, double alpha,
   return h;
 }
 
-void RmaRuntime::wait(Rank& me, RmaHandle& h, std::source_location site) {
-  SRUMMA_REQUIRE(h.issued, "wait: handle was never issued");
-  if (checker_) checker_->on_wait(me.id(), h.check_id, site);
-  if (!h.pending) return;  // idempotent on already-completed handles
-  const double before = me.clock().now();
-  if (h.completion > before) {
-    me.trace().time_wait += h.completion - before;
-    me.clock().sync_to(h.completion);
-    if (Timeline* tl = team_.timeline())
-      tl->record(me.id(), EventKind::Wait, before, h.completion);
+RmaHandle RmaRuntime::reissue(Rank& me, const ReplayOp& op,
+                              std::source_location site) {
+  switch (op.kind) {
+    case ReplayOp::Kind::Get:
+      return nbget(me, op.owner, op.src, op.dst, op.elems, site);
+    case ReplayOp::Kind::Get2d:
+      return nbget2d(me, op.owner, op.src, op.ld_src, op.rows, op.cols,
+                     op.dst, op.ld_dst, site);
+    case ReplayOp::Kind::Put2d:
+      return nbput2d(me, op.owner, op.src, op.ld_src, op.rows, op.cols,
+                     op.dst, op.ld_dst, site);
+    case ReplayOp::Kind::Acc2d:
+      return nbacc2d(me, op.owner, op.alpha, op.src, op.ld_src, op.rows,
+                     op.cols, op.dst, op.ld_dst, site);
+    case ReplayOp::Kind::None:
+      break;
   }
-  h.pending = false;
+  throw Error("rma retry: handle carries no replayable operation");
+}
+
+RmaStatus RmaRuntime::wait_impl(Rank& me, RmaHandle& h, double timeout,
+                                bool throw_on_error,
+                                std::source_location site) {
+  SRUMMA_REQUIRE(h.issued, "wait: handle was never issued");
+  if (!h.pending) {
+    // Idempotent on already-completed handles (the checker still sees the
+    // repeat wait and reports its double-wait diagnostic).
+    if (checker_) checker_->on_wait(me.id(), h.check_id, site);
+    return h.status;
+  }
+  const double deadline = timeout >= 0.0 ? me.clock().now() + timeout : -1.0;
+  for (;;) {
+    if (team_.aborted()) throw Error("team aborted while waiting on rma op");
+    if (deadline >= 0.0 && h.completion > deadline) {
+      // Caller deadline expires before this attempt completes: park the
+      // clock exactly at the deadline and leave the handle pending (no
+      // checker on_wait — the op has not been consumed).
+      const double now = me.clock().now();
+      if (deadline > now) {
+        me.trace().time_wait += deadline - now;
+        me.clock().sync_to(deadline);
+      }
+      return RmaStatus::Timeout;
+    }
+    if (checker_) checker_->on_wait(me.id(), h.check_id, site);
+    const double before = me.clock().now();
+    double waited = 0.0;
+    if (h.completion > before) {
+      waited = h.completion - before;
+      me.trace().time_wait += waited;
+      me.clock().sync_to(h.completion);
+      if (Timeline* tl = team_.timeline())
+        tl->record(me.id(), EventKind::Wait, before, h.completion);
+    }
+    h.pending = false;
+
+    bool attempt_failed = h.failed;
+    if (!attempt_failed && retry_.op_timeout > 0.0 &&
+        h.completion - h.issue_vt > retry_.op_timeout) {
+      // The attempt completed, but only after blowing its per-op deadline
+      // (e.g. an injected straggler): a real initiator would have abandoned
+      // and re-issued it, so treat it as failed.
+      attempt_failed = true;
+      me.trace().rma_op_timeouts += 1;
+    }
+    if (!attempt_failed) {
+      h.status = RmaStatus::Ok;
+      return RmaStatus::Ok;
+    }
+    me.trace().time_recovery += waited;  // time sunk into the failed attempt
+
+    if (h.attempts >= retry_.max_attempts) {
+      h.status = RmaStatus::Error;
+      if (throw_on_error)
+        throw Error("rma wait: transfer still failing after " +
+                    std::to_string(h.attempts) + " attempts");
+      return RmaStatus::Error;
+    }
+
+    // Exponential backoff before the re-issue, charged to virtual time.
+    const double backoff =
+        retry_.backoff_base *
+        std::pow(retry_.backoff_mult, static_cast<double>(h.attempts - 1));
+    if (backoff > 0.0) {
+      me.clock().advance(backoff);
+      me.trace().time_recovery += backoff;
+    }
+    me.trace().rma_retries += 1;
+
+    // Re-issue through the public nb* path: a fresh checker-visible op with
+    // its own check_id (never a double wait) and a fresh fault draw.
+    const int attempts = h.attempts;
+    const ReplayOp op = h.op;
+    RmaHandle fresh = reissue(me, op, site);
+    fresh.attempts = attempts + 1;
+    h = fresh;
+  }
+}
+
+void RmaRuntime::wait(Rank& me, RmaHandle& h, std::source_location site) {
+  wait_impl(me, h, /*timeout=*/-1.0, /*throw_on_error=*/true, site);
+}
+
+RmaStatus RmaRuntime::try_wait(Rank& me, RmaHandle& h,
+                               std::source_location site) {
+  return wait_impl(me, h, /*timeout=*/-1.0, /*throw_on_error=*/false, site);
+}
+
+RmaStatus RmaRuntime::wait_for(Rank& me, RmaHandle& h, double timeout,
+                               std::source_location site) {
+  SRUMMA_REQUIRE(timeout >= 0.0, "wait_for: negative timeout");
+  return wait_impl(me, h, timeout, /*throw_on_error=*/false, site);
 }
 
 void RmaRuntime::get2d(Rank& me, int owner, const double* src, index_t ld_src,

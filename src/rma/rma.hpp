@@ -37,11 +37,42 @@
 #include <vector>
 
 #include "check/rma_checker.hpp"
+#include "fault/fault_plane.hpp"
 #include "runtime/team.hpp"
 #include "util/aligned.hpp"
 #include "util/matrix.hpp"
 
 namespace srumma {
+
+/// Completion status of a one-sided operation (valid once the handle is no
+/// longer pending, or when a timed wait gives up).
+enum class RmaStatus {
+  Ok,      ///< transfer delivered
+  Error,   ///< transient failures exhausted the retry budget
+  Timeout  ///< caller deadline expired; the handle is still pending
+};
+
+/// Recovery policy applied inside RmaRuntime when a transfer completes in
+/// an error state (injected transient failure) or overruns its per-attempt
+/// deadline.  All times are *virtual* seconds: backoff is charged to the
+/// waiting rank's clock and accounted as time_recovery, so benches can
+/// quantify recovery overhead.
+struct RetryPolicy {
+  int max_attempts = 3;        ///< total issue attempts (>= 1)
+  double backoff_base = 2e-6;  ///< virtual pause before the first re-issue
+  double backoff_mult = 2.0;   ///< exponential growth per further retry
+  /// Per-attempt completion deadline (virtual seconds); an attempt whose
+  /// modeled completion exceeds issue time + op_timeout is abandoned and
+  /// re-issued (counts against max_attempts).  0 disables the deadline.
+  double op_timeout = 0.0;
+
+  /// `base` with any SRUMMA_FAULT_MAX_ATTEMPTS / SRUMMA_FAULT_BACKOFF_BASE /
+  /// SRUMMA_FAULT_BACKOFF_MULT / SRUMMA_FAULT_OP_TIMEOUT overrides applied.
+  [[nodiscard]] static RetryPolicy from_env(RetryPolicy base);
+  [[nodiscard]] static RetryPolicy from_env() {
+    return from_env(RetryPolicy{});
+  }
+};
 
 /// Tuning knobs for protocol experiments (Fig. 9) and checking.
 struct RmaConfig {
@@ -54,6 +85,28 @@ struct RmaConfig {
   /// Checker failure mode: throw srumma::Error at the first diagnostic
   /// (default) or record only (tests inspect checker()->reports()).
   bool check_throw = true;
+  /// Retry policy; when unset, defaults + SRUMMA_FAULT_* env overrides.
+  std::optional<RetryPolicy> retry;
+  /// Install a fault-injection plane on the team (overriding any plane the
+  /// SRUMMA_FAULT_* environment installed; see Team::set_fault_plane).
+  std::optional<fault::FaultConfig> faults;
+};
+
+/// Everything needed to re-issue a nonblocking op after a transient
+/// failure: the op kind plus its original arguments.  Recorded in the
+/// handle at issue; consumed by the retry loop inside RmaRuntime's waits.
+struct ReplayOp {
+  enum class Kind : std::uint8_t { None, Get, Get2d, Put2d, Acc2d };
+  Kind kind = Kind::None;
+  int owner = 0;
+  double alpha = 0.0;  ///< Acc2d only
+  const double* src = nullptr;
+  index_t ld_src = 0;
+  index_t rows = 0;
+  index_t cols = 0;
+  double* dst = nullptr;
+  index_t ld_dst = 0;
+  std::size_t elems = 0;  ///< contiguous Get only
 };
 
 /// Completion record for a nonblocking one-sided operation.
@@ -65,12 +118,26 @@ struct RmaConfig {
 /// checker a second wait is additionally reported as a double-wait
 /// diagnostic, because in real code it almost always means a lost or
 /// aliased handle.
+///
+/// Error/result state: with fault injection active, a transfer can complete
+/// in an error state (`failed`); the retry loop inside wait()/try_wait()
+/// re-issues it transparently (each re-issue is a *new* checker-visible op
+/// with a fresh check_id, never a double wait).  After the handle completes,
+/// `status` records the outcome; `attempts` counts issues performed.
 struct RmaHandle {
   double completion = 0.0;  ///< virtual time the transfer finishes
   double duration = 0.0;    ///< modeled wire/copy time
   bool pending = false;
   bool issued = false;          ///< returned by an nb* call (wait() requires)
   std::uint64_t check_id = 0;   ///< checker handle identity (0 = untracked)
+
+  // -- error/result state (fault injection + retry) --------------------------
+  RmaStatus status = RmaStatus::Ok;  ///< outcome once no longer pending
+  bool failed = false;      ///< this attempt's payload was not delivered
+  bool corrupted = false;   ///< payload was delivered with injected damage
+  int attempts = 0;         ///< issue attempts so far (1 after the nb* call)
+  double issue_vt = 0.0;    ///< virtual time of the current attempt's issue
+  ReplayOp op;              ///< re-issue recipe for the retry loop
 };
 
 /// Result of a collective symmetric allocation: every rank's base pointer.
@@ -91,6 +158,7 @@ struct SymmetricRegion {
 class RmaRuntime {
  public:
   explicit RmaRuntime(Team& team, RmaConfig cfg = {});
+  ~RmaRuntime();
   RmaRuntime(const RmaRuntime&) = delete;
   RmaRuntime& operator=(const RmaRuntime&) = delete;
 
@@ -135,9 +203,31 @@ class RmaRuntime {
 
   /// Block until a nonblocking op completes; charges the wait to the clock.
   /// Idempotent on an already-completed handle; throws on a handle that was
-  /// never issued (see RmaHandle).
+  /// never issued (see RmaHandle).  Transient injected failures are retried
+  /// per the RetryPolicy; when the retry budget is exhausted this throws
+  /// srumma::Error (use try_wait to handle the failure instead).
   void wait(Rank& me, RmaHandle& h,
             std::source_location site = std::source_location::current());
+
+  /// Like wait(), but reports an exhausted retry budget as
+  /// RmaStatus::Error instead of throwing.  The handle is always completed
+  /// (never left pending) so drain loops stay balanced under failures.
+  RmaStatus try_wait(Rank& me, RmaHandle& h,
+                     std::source_location site = std::source_location::current());
+
+  /// Timed wait: like try_wait(), but gives up once the op (including any
+  /// retries and backoff) would need more than `timeout` virtual seconds
+  /// beyond the caller's current clock.  On RmaStatus::Timeout the clock
+  /// advances by exactly `timeout` and the handle REMAINS pending — a later
+  /// wait/try_wait/wait_for picks it up; abandoning it is checker-visible.
+  /// Abort-aware like every blocking path (see runtime/abortable_wait.hpp).
+  RmaStatus wait_for(Rank& me, RmaHandle& h, double timeout,
+                     std::source_location site = std::source_location::current());
+
+  /// The active retry policy (RmaConfig::retry or env-adjusted defaults).
+  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
+    return retry_;
+  }
 
   /// Blocking variants (issue + immediate wait; zero overlap).
   void get2d(Rank& me, int owner, const double* src, index_t ld_src,
@@ -188,6 +278,14 @@ class RmaRuntime {
   void copy2d(const double* src, index_t ld_src, index_t rows, index_t cols,
               double* dst, index_t ld_dst);
 
+  /// Shared completion path: retries failed attempts per retry_; with
+  /// timeout >= 0, gives up (leaving the handle pending) once the deadline
+  /// passes.  throw_on_error turns an exhausted budget into srumma::Error.
+  RmaStatus wait_impl(Rank& me, RmaHandle& h, double timeout,
+                      bool throw_on_error, std::source_location site);
+  /// Re-issue the recorded op (a fresh checker-visible operation).
+  RmaHandle reissue(Rank& me, const ReplayOp& op, std::source_location site);
+
   /// Checker footprint of a rows x cols patch of doubles with stride ld.
   [[nodiscard]] static check::Footprint shape(index_t rows, index_t cols,
                                               index_t ld) {
@@ -205,14 +303,20 @@ class RmaRuntime {
 
   Team& team_;
   bool zero_copy_;
+  RetryPolicy retry_;
   std::unique_ptr<check::RmaChecker> checker_;
   std::mutex acc_mu_;  // serializes concurrent accumulate updates
 
   std::mutex alloc_mu_;
   std::condition_variable alloc_cv_;
+  struct FreeRecord {
+    int arrived = 0;
+    std::vector<char> freed;  // per-rank marks for double-free detection
+  };
+
   std::map<std::uint64_t, AllocRecord> live_allocs_;  // keyed by sequence id
   std::vector<std::uint64_t> next_alloc_seq_;         // per rank
-  std::map<std::uint64_t, int> free_arrivals_;        // seq -> arrived count
+  std::map<std::uint64_t, FreeRecord> free_arrivals_; // seq -> free progress
   std::vector<std::uint64_t> next_free_seq_;          // per rank
 };
 

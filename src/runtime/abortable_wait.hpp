@@ -5,6 +5,7 @@
 // the communication layers polls that flag so a failure on one rank
 // propagates instead of deadlocking the remaining ranks.
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -21,6 +22,25 @@ void wait_abortable(std::unique_lock<std::mutex>& lock,
     if (team.aborted()) throw Error("team aborted while waiting");
     cv.wait_for(lock, std::chrono::milliseconds(20));
   }
+}
+
+/// Deadline variant: waits until `pred` holds or `rel_time` (wall clock)
+/// elapses.  Returns true when the predicate was satisfied, false on
+/// timeout; throws when the team aborts, exactly like wait_abortable.
+template <typename Rep, typename Period, typename Pred>
+bool wait_abortable_for(std::unique_lock<std::mutex>& lock,
+                        std::condition_variable& cv, Team& team,
+                        std::chrono::duration<Rep, Period> rel_time,
+                        Pred pred) {
+  const auto deadline = std::chrono::steady_clock::now() + rel_time;
+  while (!pred()) {
+    if (team.aborted()) throw Error("team aborted while waiting");
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return pred();
+    cv.wait_for(lock, std::min<std::chrono::steady_clock::duration>(
+                          deadline - now, std::chrono::milliseconds(20)));
+  }
+  return true;
 }
 
 }  // namespace srumma

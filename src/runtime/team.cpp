@@ -82,6 +82,7 @@ Team::Team(MachineModel machine)
   for (int r = 0; r < size_; ++r) {
     ranks_.push_back(std::make_unique<Rank>(this, r));
   }
+  faults_ = fault::plane_from_env(machine_);
 }
 
 Rank& Team::rank(int id) {
@@ -128,6 +129,8 @@ void Team::reset() {
     barrier_release_ = 0.0;
   }
   aborted_.store(false, std::memory_order_release);
+  // Replay the same injected faults on the next run.
+  if (faults_) faults_->reset();
 }
 
 double Team::max_clock() {
@@ -159,6 +162,21 @@ TraceCounters Team::total_trace() {
 void Team::abort() noexcept {
   aborted_.store(true, std::memory_order_release);
   barrier_cv_.notify_all();
+  // Wake every registered blocking wait (symmetric allocation, mailboxes)
+  // so peers observe the abort promptly instead of riding out their
+  // polling interval.
+  std::lock_guard<std::mutex> lock(abort_cv_mu_);
+  for (std::condition_variable* cv : abort_cvs_) cv->notify_all();
+}
+
+void Team::add_abort_cv(std::condition_variable* cv) {
+  std::lock_guard<std::mutex> lock(abort_cv_mu_);
+  abort_cvs_.push_back(cv);
+}
+
+void Team::remove_abort_cv(std::condition_variable* cv) {
+  std::lock_guard<std::mutex> lock(abort_cv_mu_);
+  std::erase(abort_cvs_, cv);
 }
 
 std::uint64_t Team::add_epoch_observer(std::function<void(int)> fn) {

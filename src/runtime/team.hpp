@@ -18,6 +18,7 @@
 #include <mutex>
 #include <vector>
 
+#include "fault/fault_plane.hpp"
 #include "machine/machine.hpp"
 #include "vtime/clock.hpp"
 #include "vtime/network.hpp"
@@ -118,6 +119,25 @@ class Team {
   /// trace_board; used for collective reductions over shared memory.
   [[nodiscard]] double& value_board(int rank);
 
+  /// Fault-injection plane consulted by the communication layers; nullptr
+  /// when injection is disabled (the common case — callers null-test it,
+  /// exactly like the RMA checker).  Auto-installed from the SRUMMA_FAULT_*
+  /// environment at construction; set_fault_plane overrides (nullptr
+  /// disables).  One plane per team so the RMA and msg layers draw from the
+  /// same seeded decision streams.
+  [[nodiscard]] fault::FaultPlane* faults() noexcept { return faults_.get(); }
+  void set_fault_plane(std::shared_ptr<fault::FaultPlane> plane) noexcept {
+    faults_ = std::move(plane);
+  }
+
+  /// Register a condition variable that abort() must notify, so blocking
+  /// waits in the comm layers (symmetric allocation, mailboxes) wake
+  /// promptly when a peer rank throws instead of riding out their polling
+  /// interval.  The caller owns the cv and must remove it before the cv is
+  /// destroyed.
+  void add_abort_cv(std::condition_variable* cv);
+  void remove_abort_cv(std::condition_variable* cv);
+
   /// Start recording per-rank event spans (see vtime/timeline.hpp); off by
   /// default.  Safe to call between runs; reset() clears recorded events
   /// but keeps recording enabled.
@@ -148,6 +168,10 @@ class Team {
   std::vector<TraceCounters> trace_board_;
   std::vector<double> value_board_;
   std::unique_ptr<Timeline> timeline_;
+  std::shared_ptr<fault::FaultPlane> faults_;
+
+  std::mutex abort_cv_mu_;
+  std::vector<std::condition_variable*> abort_cvs_;
 
   void notify_epoch_observers(int rank);
 

@@ -23,6 +23,15 @@ TraceCounters trace_delta(const TraceCounters& end, const TraceCounters& start) 
   d.copy_tasks = end.copy_tasks - start.copy_tasks;
   // High-water marks are not differenced; the delta carries the end value.
   d.buffer_bytes_peak = end.buffer_bytes_peak;
+  d.faults_injected = end.faults_injected - start.faults_injected;
+  d.faults_corrupted = end.faults_corrupted - start.faults_corrupted;
+  d.faults_delayed = end.faults_delayed - start.faults_delayed;
+  d.rma_retries = end.rma_retries - start.rma_retries;
+  d.rma_op_timeouts = end.rma_op_timeouts - start.rma_op_timeouts;
+  d.task_requeues = end.task_requeues - start.task_requeues;
+  d.shm_fallbacks = end.shm_fallbacks - start.shm_fallbacks;
+  d.checksum_redos = end.checksum_redos - start.checksum_redos;
+  d.time_recovery = end.time_recovery - start.time_recovery;
   return d;
 }
 
@@ -56,6 +65,19 @@ std::string describe(const MultiplyResult& r) {
      << static_cast<double>(r.trace.bytes_shm) / 1e6 << " MB / remote "
      << static_cast<double>(r.trace.bytes_remote) / 1e6 << " MB / msg "
      << static_cast<double>(r.trace.bytes_msg) / 1e6 << " MB";
+  const TraceCounters& t = r.trace;
+  if (t.faults_injected + t.faults_corrupted + t.faults_delayed +
+          t.rma_retries + t.rma_op_timeouts + t.task_requeues +
+          t.shm_fallbacks + t.checksum_redos >
+      0) {
+    os << ", recovery: " << t.faults_injected << " failed / "
+       << t.faults_corrupted << " corrupted / " << t.faults_delayed
+       << " delayed ops, " << t.rma_retries << " retries ("
+       << t.rma_op_timeouts << " op-timeouts), " << t.task_requeues
+       << " task requeues, " << t.shm_fallbacks << " shm fallbacks, "
+       << t.checksum_redos << " checksum redos, "
+       << t.time_recovery * 1e3 << " ms in recovery";
+  }
   return os.str();
 }
 

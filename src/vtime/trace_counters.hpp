@@ -36,6 +36,19 @@ struct TraceCounters {
   /// MAX, so a team-level result reports the worst rank's footprint.
   std::uint64_t buffer_bytes_peak = 0;
 
+  // -- fault injection & recovery (src/fault, RetryPolicy, pipeline) --------
+  std::uint64_t faults_injected = 0;   ///< transient failures injected
+  std::uint64_t faults_corrupted = 0;  ///< payload corruptions applied
+  std::uint64_t faults_delayed = 0;    ///< straggler-op delays applied
+  std::uint64_t rma_retries = 0;       ///< re-issues performed by waits
+  std::uint64_t rma_op_timeouts = 0;   ///< attempts abandoned by op_timeout
+  std::uint64_t task_requeues = 0;     ///< pipeline tasks re-enqueued at tail
+  std::uint64_t shm_fallbacks = 0;     ///< Direct -> Copy operand degradations
+  std::uint64_t checksum_redos = 0;    ///< block products redone (corruption)
+  /// Virtual time sunk into recovery: waits on failed attempts, retry
+  /// backoff, checksum verification refetches and redone block products.
+  double time_recovery = 0.0;
+
   /// Fraction of issued communication hidden behind computation:
   /// 1 - time_wait/time_comm, clamped to [0, 1].  The paper reports >90%
   /// overlap for SRUMMA on the Linux cluster.
@@ -64,6 +77,15 @@ struct TraceCounters {
     direct_tasks += o.direct_tasks;
     copy_tasks += o.copy_tasks;
     buffer_bytes_peak = std::max(buffer_bytes_peak, o.buffer_bytes_peak);
+    faults_injected += o.faults_injected;
+    faults_corrupted += o.faults_corrupted;
+    faults_delayed += o.faults_delayed;
+    rma_retries += o.rma_retries;
+    rma_op_timeouts += o.rma_op_timeouts;
+    task_requeues += o.task_requeues;
+    shm_fallbacks += o.shm_fallbacks;
+    checksum_redos += o.checksum_redos;
+    time_recovery += o.time_recovery;
     return *this;
   }
 };

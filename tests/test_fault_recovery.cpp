@@ -1,0 +1,385 @@
+// Fault injection, retry, timeout, and degradation: transient failures are
+// retried transparently, exhausted retries surface as status (try_wait) or
+// errors (wait), wait_for models bounded waiting, dead shared-memory
+// domains degrade Direct -> Copy, corrupted payloads are caught by the
+// checksum pass and redone — and the whole fault plane replays exactly
+// from its seed.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "core/srumma.hpp"
+#include "msg/comm.hpp"
+#include "trace/report.hpp"
+#include "tests/helpers.hpp"
+
+namespace srumma {
+namespace {
+
+// Small-integer fill: every product and partial sum is exactly
+// representable, so a recovered run must match the serial reference
+// *bitwise* — any surviving corruption or lost retry shows up as a
+// nonzero difference.
+void fill_ints(MatrixView v, std::uint64_t seed) {
+  Rng rng(seed);
+  for (index_t j = 0; j < v.cols(); ++j)
+    for (index_t i = 0; i < v.rows(); ++i)
+      v(i, j) = static_cast<double>(static_cast<int>(rng.below(9))) - 4.0;
+}
+
+struct FaultRun {
+  Matrix c;
+  MultiplyResult result;
+  TraceCounters trace;
+};
+
+FaultRun run_fault_multiply(const MachineModel& mm, ProcGrid grid, index_t n,
+                            const RmaConfig& cfg, const SrummaOptions& opt,
+                            std::uint64_t fill_seed) {
+  Team team(mm);
+  RmaRuntime rma(team, cfg);
+  Matrix a_global(n, n), b_global(n, n);
+  fill_ints(a_global.view(), fill_seed);
+  fill_ints(b_global.view(), fill_seed + 1);
+
+  FaultRun out{Matrix(n, n), {}, {}};
+  team.run([&](Rank& me) {
+    DistMatrix a(rma, me, n, n, grid);
+    DistMatrix b(rma, me, n, n, grid);
+    DistMatrix c(rma, me, n, n, grid);
+    a.scatter_from(me, a_global.view());
+    b.scatter_from(me, b_global.view());
+    c.local_view(me).fill(0.0);
+    MultiplyResult r = srumma_multiply(me, a, b, c, opt);
+    if (me.id() == 0) out.result = r;
+    c.gather_to(me, out.c.view());
+  });
+  out.trace = team.total_trace();
+  return out;
+}
+
+Matrix reference_product(index_t n, std::uint64_t fill_seed) {
+  Matrix a(n, n), b(n, n), c(n, n);
+  fill_ints(a.view(), fill_seed);
+  fill_ints(b.view(), fill_seed + 1);
+  c.view().fill(0.0);
+  testing::reference_gemm(blas::Trans::No, blas::Trans::No, 1.0, a, b, 0.0, c);
+  return c;
+}
+
+TEST(FaultPlane, AbsentByDefault) {
+  // No SRUMMA_FAULT_* environment, no RmaConfig::faults: no plane, and
+  // FaultConfig::from_env agrees.
+  Team team(MachineModel::testing(2, 1));
+  EXPECT_EQ(team.faults(), nullptr);
+  EXPECT_FALSE(fault::FaultConfig::from_env().has_value());
+}
+
+TEST(FaultRecovery, TransientFailuresRetryTransparently) {
+  Team team(MachineModel::testing(2, 1));
+  fault::FaultConfig f;
+  f.seed = 42;
+  f.fail_rate = 0.3;
+  RetryPolicy rp;
+  rp.max_attempts = 12;
+  RmaConfig cfg;
+  cfg.faults = f;
+  cfg.retry = rp;
+  RmaRuntime rma(team, cfg);
+
+  constexpr std::size_t kElems = 64;
+  team.run([&](Rank& me) {
+    SymmetricRegion reg = rma.malloc_symmetric(me, kElems);
+    double* mine = reg.base(me.id());
+    for (std::size_t i = 0; i < kElems; ++i)
+      mine[i] = 1000.0 * me.id() + static_cast<double>(i);
+    me.barrier();
+
+    const int peer = 1 - me.id();
+    std::array<double, kElems> dst{};
+    for (int round = 0; round < 32; ++round) {
+      dst.fill(-1.0);
+      RmaHandle h = rma.nbget(me, peer, reg.base(peer), dst.data(), kElems);
+      rma.wait(me, h);
+      EXPECT_EQ(h.status, RmaStatus::Ok);
+      for (std::size_t i = 0; i < kElems; ++i)
+        ASSERT_EQ(dst[i], 1000.0 * peer + static_cast<double>(i));
+    }
+    me.barrier();
+  });
+
+  const TraceCounters t = team.total_trace();
+  EXPECT_GT(t.faults_injected, 0u);
+  EXPECT_GT(t.rma_retries, 0u);
+  EXPECT_GT(t.time_recovery, 0.0);
+}
+
+TEST(FaultRecovery, ExhaustedRetriesSurfaceAsStatusOrError) {
+  fault::FaultConfig f;
+  f.fail_rate = 1.0;  // every transfer fails, every retry fails
+  RetryPolicy rp;
+  rp.max_attempts = 2;
+  RmaConfig cfg;
+  cfg.faults = f;
+  cfg.retry = rp;
+
+  {  // try_wait: status, no throw — and the failed transfer moved no data
+    Team team(MachineModel::testing(2, 1));
+    RmaRuntime rma(team, cfg);
+    team.run([&](Rank& me) {
+      SymmetricRegion reg = rma.malloc_symmetric(me, 8);
+      reg.base(me.id())[0] = 3.25;
+      me.barrier();
+      double sentinel = -7.0;
+      RmaHandle h = rma.nbget(me, 1 - me.id(), reg.base(1 - me.id()),
+                              &sentinel, 1);
+      EXPECT_EQ(rma.try_wait(me, h), RmaStatus::Error);
+      EXPECT_FALSE(h.pending);
+      EXPECT_EQ(h.status, RmaStatus::Error);
+      EXPECT_EQ(h.attempts, 2);
+      EXPECT_EQ(sentinel, -7.0);
+      me.barrier();
+    });
+    EXPECT_EQ(team.total_trace().rma_retries, 2u);  // 1 retry per rank
+  }
+
+  {  // wait: throws, and Team::run rethrows the rank's error at call site
+    Team team(MachineModel::testing(2, 1));
+    RmaRuntime rma(team, cfg);
+    try {
+      team.run([&](Rank& me) {
+        SymmetricRegion reg = rma.malloc_symmetric(me, 8);
+        me.barrier();
+        double x = 0.0;
+        RmaHandle h =
+            rma.nbget(me, 1 - me.id(), reg.base(1 - me.id()), &x, 1);
+        rma.wait(me, h);
+        FAIL() << "wait() must throw after exhausted retries";
+      });
+      FAIL() << "Team::run must rethrow the rank's error";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("still failing"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(FaultRecovery, WaitForTimesOutThenCompletes) {
+  Team team(MachineModel::testing(2, 1));
+  fault::FaultConfig f;
+  f.delay_rate = 1.0;
+  f.delay_factor = 50.0;
+  RmaConfig cfg;
+  cfg.faults = f;
+  RmaRuntime rma(team, cfg);
+
+  constexpr std::size_t kElems = 1 << 15;
+  std::vector<double> dst(kElems, 0.0);
+  team.run([&](Rank& me) {
+    SymmetricRegion reg = rma.malloc_symmetric(me, kElems);
+    me.barrier();
+    if (me.id() == 0) {
+      RmaHandle h = rma.nbget(me, 1, reg.base(1), dst.data(), kElems);
+      const double t0 = me.clock().now();
+      EXPECT_EQ(rma.wait_for(me, h, 1e-9), RmaStatus::Timeout);
+      EXPECT_TRUE(h.pending);  // not consumed: the op is still in flight
+      EXPECT_NEAR(me.clock().now(), t0 + 1e-9, 1e-15);
+      rma.wait(me, h);  // same handle, no double-completion
+      EXPECT_EQ(h.status, RmaStatus::Ok);
+      EXPECT_GE(me.clock().now(), h.completion);
+    }
+    me.barrier();
+  });
+  EXPECT_GT(team.total_trace().faults_delayed, 0u);
+}
+
+TEST(FaultRecovery, DeadDomainFallsBackToCopy) {
+  fault::FaultConfig f;
+  f.dead_domain = 1;
+  RmaConfig cfg;
+  cfg.faults = f;
+  SrummaOptions opt;
+  opt.shm_flavor = ShmFlavor::Direct;
+
+  const index_t n = 32;
+  FaultRun run = run_fault_multiply(MachineModel::testing(2, 2),
+                                    ProcGrid{2, 2}, n, cfg, opt, 7);
+  EXPECT_EQ(max_abs_diff(run.c.view(), reference_product(n, 7).view()), 0.0);
+  EXPECT_GT(run.trace.shm_fallbacks, 0u);
+
+  // The clean run uses direct access where the degraded one paid copies.
+  FaultRun clean = run_fault_multiply(MachineModel::testing(2, 2),
+                                      ProcGrid{2, 2}, n, RmaConfig{}, opt, 7);
+  EXPECT_EQ(clean.trace.shm_fallbacks, 0u);
+  EXPECT_GT(run.trace.copy_tasks, clean.trace.copy_tasks);
+}
+
+TEST(FaultRecovery, ChecksumPassRepairsCorruption) {
+  fault::FaultConfig f;
+  f.seed = 99;
+  f.corrupt_rate = 0.3;
+  RmaConfig cfg;
+  cfg.faults = f;
+  SrummaOptions opt;
+  opt.shm_flavor = ShmFlavor::Copy;  // every operand is fetched
+
+  const index_t n = 32;
+  const Matrix ref = reference_product(n, 5);
+
+  // Without verification the injected bit flips land in C...
+  SrummaOptions off = opt;
+  FaultRun bad = run_fault_multiply(MachineModel::testing(2, 2),
+                                    ProcGrid{2, 2}, n, cfg, off, 5);
+  EXPECT_GT(bad.trace.faults_corrupted, 0u);
+  EXPECT_GT(max_abs_diff(bad.c.view(), ref.view()), 0.0);
+
+  // ...with it, every corrupt patch is refetched before dgemm consumes it.
+  opt.verify_checksums = true;
+  FaultRun good = run_fault_multiply(MachineModel::testing(2, 2),
+                                     ProcGrid{2, 2}, n, cfg, opt, 5);
+  EXPECT_GT(good.trace.faults_corrupted, 0u);
+  EXPECT_GT(good.trace.checksum_redos, 0u);
+  EXPECT_GT(good.trace.time_recovery, 0.0);
+  EXPECT_EQ(max_abs_diff(good.c.view(), ref.view()), 0.0);
+}
+
+// The acceptance bar: failures, corruption, and a straggler link all at
+// once; the pipeline must finish, match the serial reference bitwise, and
+// replay identically — per seed — run over run.
+TEST(FaultRecovery, RecoversBitwiseAcrossSeedsDeterministically) {
+  const index_t n = 48;
+  SrummaOptions opt;
+  opt.shm_flavor = ShmFlavor::Copy;
+  opt.verify_checksums = true;
+  opt.c_chunk = 12;
+  opt.k_chunk = 8;
+
+  for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    fault::FaultConfig f;
+    f.seed = seed;
+    f.fail_rate = 0.03;
+    f.corrupt_rate = 0.03;
+    f.delay_rate = 0.05;
+    f.straggler_node = 1;
+    RetryPolicy rp;
+    rp.max_attempts = 8;
+    RmaConfig cfg;
+    cfg.faults = f;
+    cfg.retry = rp;
+
+    const Matrix ref = reference_product(n, seed);
+    FaultRun r1 = run_fault_multiply(MachineModel::testing(2, 2),
+                                     ProcGrid{2, 2}, n, cfg, opt, seed);
+    EXPECT_EQ(max_abs_diff(r1.c.view(), ref.view()), 0.0)
+        << "seed " << seed;
+    EXPECT_GT(r1.trace.faults_injected + r1.trace.faults_corrupted, 0u)
+        << "seed " << seed;
+    EXPECT_GT(r1.trace.rma_retries + r1.trace.checksum_redos +
+                  r1.trace.task_requeues,
+              0u)
+        << "seed " << seed;
+
+    // Exact replay: fresh team, same seed, bit-identical result and an
+    // identical fault/recovery schedule.  (Virtual *makespan* is only
+    // deterministic up to the contention model's first-fit gap placement,
+    // which resolves overlapping NIC reservations in booking order — the
+    // decision streams and the data path replay exactly.)
+    FaultRun r2 = run_fault_multiply(MachineModel::testing(2, 2),
+                                     ProcGrid{2, 2}, n, cfg, opt, seed);
+    EXPECT_EQ(max_abs_diff(r2.c.view(), r1.c.view()), 0.0) << "seed " << seed;
+    EXPECT_EQ(r2.trace.faults_injected, r1.trace.faults_injected)
+        << "seed " << seed;
+    EXPECT_EQ(r2.trace.faults_corrupted, r1.trace.faults_corrupted)
+        << "seed " << seed;
+    EXPECT_EQ(r2.trace.faults_delayed, r1.trace.faults_delayed)
+        << "seed " << seed;
+    EXPECT_EQ(r2.trace.rma_retries, r1.trace.rma_retries) << "seed " << seed;
+    EXPECT_EQ(r2.trace.checksum_redos, r1.trace.checksum_redos)
+        << "seed " << seed;
+    EXPECT_EQ(r2.trace.task_requeues, r1.trace.task_requeues)
+        << "seed " << seed;
+  }
+}
+
+TEST(FaultRecovery, CheckerStaysCleanUnderRetries) {
+  // A retried op must be a fresh checker op, not a double-wait on the old
+  // one: with the shadow-state checker in throw mode, completing at all is
+  // the assertion.
+  fault::FaultConfig f;
+  f.seed = 3;
+  f.fail_rate = 0.4;
+  RetryPolicy rp;
+  rp.max_attempts = 16;
+  RmaConfig cfg;
+  cfg.check = true;
+  cfg.faults = f;
+  cfg.retry = rp;
+  SrummaOptions opt;
+  opt.shm_flavor = ShmFlavor::Copy;
+
+  const index_t n = 24;
+  FaultRun run = run_fault_multiply(MachineModel::testing(2, 2),
+                                    ProcGrid{2, 2}, n, cfg, opt, 9);
+  EXPECT_EQ(max_abs_diff(run.c.view(), reference_product(n, 9).view()), 0.0);
+  EXPECT_GT(run.trace.rma_retries, 0u);
+}
+
+TEST(FaultRecovery, TraceReportShowsRecovery) {
+  fault::FaultConfig f;
+  f.seed = 17;
+  f.fail_rate = 0.1;
+  RetryPolicy rp;
+  rp.max_attempts = 10;
+  RmaConfig cfg;
+  cfg.faults = f;
+  cfg.retry = rp;
+  SrummaOptions opt;
+  opt.shm_flavor = ShmFlavor::Copy;
+
+  FaultRun noisy = run_fault_multiply(MachineModel::testing(2, 2),
+                                      ProcGrid{2, 2}, 32, cfg, opt, 4);
+  EXPECT_NE(describe(noisy.result).find("recovery:"), std::string::npos);
+
+  FaultRun clean = run_fault_multiply(MachineModel::testing(2, 2),
+                                      ProcGrid{2, 2}, 32, RmaConfig{}, opt, 4);
+  EXPECT_EQ(describe(clean.result).find("recovery:"), std::string::npos);
+  EXPECT_EQ(clean.trace.faults_injected, 0u);
+  EXPECT_EQ(clean.trace.rma_retries, 0u);
+  EXPECT_EQ(clean.trace.time_recovery, 0.0);
+}
+
+TEST(FaultRecovery, MsgStragglerSlowsRendezvous) {
+  // Same rendezvous exchange with and without a straggler link on node 1:
+  // the wire time must stretch by roughly the configured factor.
+  constexpr std::size_t kElems = 1 << 16;  // rendezvous-sized
+  auto exchange_time = [&](double straggler_factor) {
+    Team team(MachineModel::testing(2, 1));
+    if (straggler_factor > 1.0) {
+      fault::FaultConfig f;
+      f.straggler_node = 1;
+      f.straggler_factor = straggler_factor;
+      team.set_fault_plane(
+          std::make_shared<fault::FaultPlane>(team.machine(), f));
+    }
+    Comm comm(team);
+    std::vector<double> buf(kElems, 1.0);
+    team.run([&](Rank& me) {
+      if (me.id() == 0) {
+        comm.send(me, 1, 5, buf.data(), kElems);
+      } else {
+        std::vector<double> r(kElems);
+        comm.recv(me, 0, 5, r.data(), kElems);
+      }
+    });
+    return team.max_clock();
+  };
+
+  const double t_clean = exchange_time(1.0);
+  const double t_slow = exchange_time(8.0);
+  EXPECT_GT(t_slow, 3.0 * t_clean);
+}
+
+}  // namespace
+}  // namespace srumma

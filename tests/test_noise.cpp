@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/srumma.hpp"
 #include "msg/comm.hpp"
 #include "runtime/team.hpp"
 
@@ -116,6 +117,43 @@ TEST(Noise, ResetRestartsTheSequence) {
     b = me.clock().now();
   });
   EXPECT_DOUBLE_EQ(a, b);
+}
+
+// Deeper prefetch rides out injected straggler transfers: an occasional
+// get that completes 80x late stalls a lookahead-1 pipeline for most of
+// its duration (only one task of compute is in flight to hide it), while
+// a depth-4 pipeline issued that get four tasks early — the modeled
+// completion time must improve.  (A *uniformly* slow link would not show
+// this: that regime is bandwidth-bound and no prefetch depth helps.)
+TEST(Noise, LookaheadHidesStragglerTransfers) {
+  auto phantom_elapsed = [](int lookahead) {
+    Team team(MachineModel::testing(2, 1));
+    fault::FaultConfig f;
+    f.seed = 5;
+    f.delay_rate = 0.05;
+    f.delay_factor = 80.0;
+    RmaConfig cfg;
+    cfg.faults = f;
+    RmaRuntime rma(team, cfg);
+    SrummaOptions opt;
+    opt.shm_flavor = ShmFlavor::Copy;
+    opt.lookahead = lookahead;
+    opt.k_chunk = 16;
+    const index_t n = 512;
+    double elapsed = 0.0;
+    team.run([&](Rank& me) {
+      DistMatrix a(rma, me, n, n, ProcGrid{2, 1}, /*phantom=*/true);
+      DistMatrix b(rma, me, n, n, ProcGrid{2, 1}, /*phantom=*/true);
+      DistMatrix c(rma, me, n, n, ProcGrid{2, 1}, /*phantom=*/true);
+      MultiplyResult r = srumma_multiply(me, a, b, c, opt);
+      if (me.id() == 0) elapsed = r.elapsed;
+    });
+    return elapsed;
+  };
+
+  const double shallow = phantom_elapsed(1);
+  const double deep = phantom_elapsed(4);
+  EXPECT_LT(deep, 0.95 * shallow);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "rma/rma.hpp"
@@ -241,6 +242,60 @@ TEST(RmaTiming, NicContentionSerializesGetsFromOneNode) {
         last = std::max(last, team.trace_board(rk).time_wait);
       const double wire = (1 << 16) * 8.0 / mm.net_bw;
       EXPECT_GE(last, 3.0 * wire);  // serialized behind two predecessors
+    }
+  });
+}
+
+TEST(RmaAlloc, MixedZeroSizeAllocationFreesCleanly) {
+  // A collective allocation where only some ranks contribute storage is
+  // legal (e.g. edge ranks of an uneven block distribution): zero-size
+  // ranks publish a null base, everyone still sees everyone else's, and
+  // the collective free completes.
+  Team team(MachineModel::testing(2, 1));
+  RmaRuntime rma(team);
+  team.run([&](Rank& me) {
+    const std::size_t elems = me.id() == 0 ? 0 : 8;
+    SymmetricRegion r = rma.malloc_symmetric(me, elems);
+    EXPECT_EQ(r.base(0), nullptr);
+    EXPECT_NE(r.base(1), nullptr);
+    rma.free_symmetric(me, r);
+    me.barrier();
+  });
+}
+
+TEST(RmaAlloc, ForeignRegionFreeThrows) {
+  // Two runtimes over the same team hand out colliding allocation sequence
+  // numbers; free_symmetric must still reject a region the *other* runtime
+  // allocated instead of silently unmapping its own.
+  Team team(MachineModel::testing(1, 2));
+  RmaRuntime rma1(team);
+  RmaRuntime rma2(team);
+  team.run([&](Rank& me) {
+    SymmetricRegion r1 = rma1.malloc_symmetric(me, 8);
+    SymmetricRegion r2 = rma2.malloc_symmetric(me, 8);
+    try {
+      rma2.free_symmetric(me, r1);
+      FAIL() << "freeing a foreign region must throw";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("not allocated by this runtime"),
+                std::string::npos);
+    }
+    rma1.free_symmetric(me, r1);
+    rma2.free_symmetric(me, r2);
+    me.barrier();
+  });
+}
+
+TEST(RmaAlloc, NeverAllocatedRegionFreeThrows) {
+  Team team(MachineModel::testing(1, 1));
+  RmaRuntime rma(team);
+  team.run([&](Rank& me) {
+    SymmetricRegion bogus;  // default: seq 0, no bases
+    try {
+      rma.free_symmetric(me, bogus);
+      FAIL() << "freeing an unknown region must throw";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("not live"), std::string::npos);
     }
   });
 }

@@ -4,8 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <string>
 
+#include "msg/comm.hpp"
+#include "runtime/abortable_wait.hpp"
+#include "rma/rma.hpp"
 #include "runtime/team.hpp"
 #include "util/error.hpp"
 
@@ -152,6 +159,77 @@ TEST(Team, ManyRanksBarrierStress) {
     for (int i = 0; i < 10; ++i) me.barrier();
   });
   EXPECT_GT(team.max_clock(), 0.0);
+}
+
+// A rank that fails while a peer is parked inside a blocking collective
+// wait must (a) wake that peer promptly via the abort-cv registry instead
+// of leaving it to ride out a polling interval, and (b) surface *its own*
+// error at the Team::run call site, not the peer's secondary abort error.
+TEST(Team, AbortWakesPeerBlockedInSymmetricAlloc) {
+  Team team(MachineModel::testing(2, 1));
+  RmaRuntime rma(team);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    team.run([&](Rank& me) {
+      if (me.id() == 0) throw Error("original failure");
+      (void)rma.malloc_symmetric(me, 128);  // blocks: rank 0 never joins
+      FAIL() << "peer must not complete the collective";
+    });
+    FAIL() << "Team::run must rethrow";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "original failure");
+  }
+  const auto wall = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(wall).count(), 5);
+  EXPECT_TRUE(team.aborted());
+}
+
+// Direct coverage of the deadline variant backing bounded blocking waits:
+// satisfied predicate returns true, an expired deadline returns false with
+// the lock still held, and a team abort throws out of the wait.
+TEST(Team, WaitAbortableForTimesOutAndAborts) {
+  Team team(MachineModel::testing(1, 1));
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+
+  std::unique_lock<std::mutex> lock(mu);
+  EXPECT_FALSE(wait_abortable_for(lock, cv, team,
+                                  std::chrono::milliseconds(5),
+                                  [&] { return ready; }));
+  EXPECT_TRUE(lock.owns_lock());
+
+  ready = true;
+  EXPECT_TRUE(wait_abortable_for(lock, cv, team,
+                                 std::chrono::milliseconds(5),
+                                 [&] { return ready; }));
+
+  ready = false;
+  team.abort();
+  EXPECT_THROW(static_cast<void>(wait_abortable_for(
+                   lock, cv, team, std::chrono::seconds(10),
+                   [&] { return ready; })),
+               Error);
+}
+
+TEST(Team, AbortWakesPeerBlockedInRecv) {
+  Team team(MachineModel::testing(2, 1));
+  Comm comm(team);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    team.run([&](Rank& me) {
+      if (me.id() == 0) throw Error("sender died");
+      double x = 0.0;
+      comm.recv(me, 0, 7, &x, 1);  // blocks: the message never arrives
+      FAIL() << "recv must not complete";
+    });
+    FAIL() << "Team::run must rethrow";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "sender died");
+  }
+  const auto wall = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(wall).count(), 5);
+  EXPECT_TRUE(team.aborted());
 }
 
 }  // namespace
