@@ -97,14 +97,18 @@ void Comm::send_eager(Rank& me, int dst, int tag, const double* buf,
   // Sender-side: per-message latency plus the copy into the eager buffer.
   me.clock().advance(mm.mpi_latency +
                      static_cast<double>(bytes) / mm.mpi_copy_bw);
-  const double fault_factor = draw_msg_delay(me, dst);
   double dur = 0.0;
   double arrival;
   if (mm.same_domain(me.id(), dst)) {
     // Intra-node eager delivery is the buffer copy itself (already charged)
-    // plus the shared-memory handoff latency; no extra staged copy.
+    // plus the shared-memory handoff latency; no extra staged copy.  No
+    // wire is scheduled, so no delay is drawn either — a drawn factor
+    // would count as a delay fault with no effect on the handoff.
     arrival = me.clock().now() + mm.shm_latency;
   } else {
+    // Zero-byte wires are pure latency (schedule_wire ignores the factor),
+    // so only draw a delay when there is a payload to stretch.
+    const double fault_factor = bytes > 0 ? draw_msg_delay(me, dst) : 1.0;
     arrival =
         schedule_wire(me.id(), dst, bytes, me.clock().now(), &dur, fault_factor);
   }

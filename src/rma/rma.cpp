@@ -341,7 +341,10 @@ RmaHandle RmaRuntime::nbacc2d(Rank& me, int owner, double alpha,
   RmaHandle h = transfer(me, owner, bytes, /*is_get=*/false);
   // Accumulates are exempt from the corruption channel: the read-modify-
   // write could not be redone after a detected corruption (it is not
-  // idempotent), so only fail/delay apply.
+  // idempotent), so only fail/delay apply.  The same non-idempotence exempts
+  // a late-but-successful accumulate from the op-timeout re-issue in
+  // wait_impl — only a *failed* attempt (no add performed, see below) is
+  // ever replayed.
   h.corrupted = false;
   h.op.kind = ReplayOp::Kind::Acc2d;
   h.op.owner = owner;
@@ -417,56 +420,83 @@ RmaStatus RmaRuntime::wait_impl(Rank& me, RmaHandle& h, double timeout,
   const double deadline = timeout >= 0.0 ? me.clock().now() + timeout : -1.0;
   for (;;) {
     if (team_.aborted()) throw Error("team aborted while waiting on rma op");
-    if (deadline >= 0.0 && h.completion > deadline) {
-      // Caller deadline expires before this attempt completes: park the
-      // clock exactly at the deadline and leave the handle pending (no
-      // checker on_wait — the op has not been consumed).
-      const double now = me.clock().now();
-      if (deadline > now) {
-        me.trace().time_wait += deadline - now;
-        me.clock().sync_to(deadline);
+    if (!h.retry_parked) {
+      if (deadline >= 0.0 && h.completion > deadline) {
+        // Caller deadline expires before this attempt completes: park the
+        // clock exactly at the deadline and leave the handle pending (no
+        // checker on_wait — the op has not been consumed).
+        const double now = me.clock().now();
+        if (deadline > now) {
+          me.trace().time_wait += deadline - now;
+          me.clock().sync_to(deadline);
+        }
+        return RmaStatus::Timeout;
       }
-      return RmaStatus::Timeout;
-    }
-    if (checker_) checker_->on_wait(me.id(), h.check_id, site);
-    const double before = me.clock().now();
-    double waited = 0.0;
-    if (h.completion > before) {
-      waited = h.completion - before;
-      me.trace().time_wait += waited;
-      me.clock().sync_to(h.completion);
-      if (Timeline* tl = team_.timeline())
-        tl->record(me.id(), EventKind::Wait, before, h.completion);
-    }
-    h.pending = false;
+      if (checker_) checker_->on_wait(me.id(), h.check_id, site);
+      const double before = me.clock().now();
+      double waited = 0.0;
+      if (h.completion > before) {
+        waited = h.completion - before;
+        me.trace().time_wait += waited;
+        me.clock().sync_to(h.completion);
+        if (Timeline* tl = team_.timeline())
+          tl->record(me.id(), EventKind::Wait, before, h.completion);
+      }
+      h.pending = false;
 
-    bool attempt_failed = h.failed;
-    if (!attempt_failed && retry_.op_timeout > 0.0 &&
-        h.completion - h.issue_vt > retry_.op_timeout) {
-      // The attempt completed, but only after blowing its per-op deadline
-      // (e.g. an injected straggler): a real initiator would have abandoned
-      // and re-issued it, so treat it as failed.
-      attempt_failed = true;
-      me.trace().rma_op_timeouts += 1;
-    }
-    if (!attempt_failed) {
-      h.status = RmaStatus::Ok;
-      return RmaStatus::Ok;
-    }
-    me.trace().time_recovery += waited;  // time sunk into the failed attempt
+      bool attempt_failed = h.failed;
+      if (!attempt_failed && retry_.op_timeout > 0.0 &&
+          h.completion - h.issue_vt > retry_.op_timeout) {
+        // The attempt completed, but only after blowing its per-op deadline
+        // (e.g. an injected straggler): a real initiator would have
+        // abandoned and re-issued it, so treat it as failed.  Accumulates
+        // are exempt: their read-modify-write was already applied at the
+        // owner when the op was issued, so re-issuing a late-but-successful
+        // accumulate would apply alpha*src a second time.  The overrun is
+        // still counted; the attempt is kept.
+        me.trace().rma_op_timeouts += 1;
+        if (h.op.kind != ReplayOp::Kind::Acc2d) attempt_failed = true;
+      }
+      if (!attempt_failed) {
+        h.status = RmaStatus::Ok;
+        return RmaStatus::Ok;
+      }
+      me.trace().time_recovery += waited;  // time sunk into the failed attempt
 
-    if (h.attempts >= retry_.max_attempts) {
-      h.status = RmaStatus::Error;
-      if (throw_on_error)
-        throw Error("rma wait: transfer still failing after " +
-                    std::to_string(h.attempts) + " attempts");
-      return RmaStatus::Error;
+      if (h.attempts >= retry_.max_attempts) {
+        h.status = RmaStatus::Error;
+        if (throw_on_error)
+          throw Error("rma wait: transfer still failing after " +
+                      std::to_string(h.attempts) + " attempts");
+        return RmaStatus::Error;
+      }
+
+      // The failed attempt is now consumed (checker on_wait done, clock at
+      // its completion); all that remains is backoff + re-issue.  Park the
+      // handle in that state so a deadline expiring below can hand it back
+      // still pending, and a later wait resumes exactly here.
+      h.retry_parked = true;
+      h.pending = true;
     }
 
     // Exponential backoff before the re-issue, charged to virtual time.
     const double backoff =
         retry_.backoff_base *
         std::pow(retry_.backoff_mult, static_cast<double>(h.attempts - 1));
+    if (deadline >= 0.0 &&
+        me.clock().now() + backoff + team_.machine().rma_issue_overhead >
+            deadline) {
+      // Backoff plus the issue overhead alone would push the clock past the
+      // caller's deadline: park exactly at the deadline without booking any
+      // NIC/memory bandwidth for a fresh attempt.  The handle stays pending
+      // and retry-parked; a later wait/try_wait/wait_for resumes the retry.
+      const double now = me.clock().now();
+      if (deadline > now) {
+        me.trace().time_recovery += deadline - now;
+        me.clock().sync_to(deadline);
+      }
+      return RmaStatus::Timeout;
+    }
     if (backoff > 0.0) {
       me.clock().advance(backoff);
       me.trace().time_recovery += backoff;

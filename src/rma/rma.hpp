@@ -64,6 +64,9 @@ struct RetryPolicy {
   /// Per-attempt completion deadline (virtual seconds); an attempt whose
   /// modeled completion exceeds issue time + op_timeout is abandoned and
   /// re-issued (counts against max_attempts).  0 disables the deadline.
+  /// Accumulates are exempt from the re-issue (their read-modify-write was
+  /// already applied at the owner, so a replay would double-apply); the
+  /// overrun is still counted in rma_op_timeouts.
   double op_timeout = 0.0;
 
   /// `base` with any SRUMMA_FAULT_MAX_ATTEMPTS / SRUMMA_FAULT_BACKOFF_BASE /
@@ -137,6 +140,11 @@ struct RmaHandle {
   bool corrupted = false;   ///< payload was delivered with injected damage
   int attempts = 0;         ///< issue attempts so far (1 after the nb* call)
   double issue_vt = 0.0;    ///< virtual time of the current attempt's issue
+  /// A failed attempt was fully consumed (checker wait done, clock synced)
+  /// but the backoff + re-issue has not run yet — set when a wait_for
+  /// deadline expires in that gap.  The handle stays `pending`; the next
+  /// wait/try_wait/wait_for resumes the retry sequence from here.
+  bool retry_parked = false;
   ReplayOp op;              ///< re-issue recipe for the retry loop
 };
 
@@ -219,7 +227,12 @@ class RmaRuntime {
   /// retries and backoff) would need more than `timeout` virtual seconds
   /// beyond the caller's current clock.  On RmaStatus::Timeout the clock
   /// advances by exactly `timeout` and the handle REMAINS pending — a later
-  /// wait/try_wait/wait_for picks it up; abandoning it is checker-visible.
+  /// wait/try_wait/wait_for picks it up.  The deadline can expire either
+  /// before the current attempt's modeled completion (the op stays in
+  /// flight and unconsumed, so abandoning it is checker-visible) or between
+  /// a failed attempt and its re-issue (the handle parks in the retry
+  /// sequence, see RmaHandle::retry_parked); in both cases no backoff is
+  /// charged and no fresh attempt books bandwidth past the deadline.
   /// Abort-aware like every blocking path (see runtime/abortable_wait.hpp).
   RmaStatus wait_for(Rank& me, RmaHandle& h, double timeout,
                      std::source_location site = std::source_location::current());

@@ -195,6 +195,123 @@ TEST(FaultRecovery, WaitForTimesOutThenCompletes) {
   EXPECT_GT(team.total_trace().faults_delayed, 0u);
 }
 
+TEST(FaultRecovery, OpTimeoutDoesNotReapplyAccumulate) {
+  // A delayed-but-successful accumulate already applied its read-modify-
+  // write at the owner when it was issued; the op-timeout channel must
+  // count the overrun but keep the attempt — re-issuing would add
+  // alpha*src a second time (silent numerical corruption).
+  Team team(MachineModel::testing(2, 1));
+  fault::FaultConfig f;
+  f.delay_rate = 1.0;  // every op straggles...
+  f.delay_factor = 50.0;
+  RetryPolicy rp;
+  rp.op_timeout = 1e-9;  // ...and every straggler blows the op deadline
+  rp.max_attempts = 8;
+  RmaConfig cfg;
+  cfg.faults = f;
+  cfg.retry = rp;
+  RmaRuntime rma(team, cfg);
+
+  constexpr index_t kRows = 1 << 10;
+  team.run([&](Rank& me) {
+    SymmetricRegion reg =
+        rma.malloc_symmetric(me, static_cast<std::size_t>(kRows));
+    double* mine = reg.base(me.id());
+    for (index_t i = 0; i < kRows; ++i) mine[i] = 1.0;
+    me.barrier();
+    if (me.id() == 0) {
+      std::vector<double> src(static_cast<std::size_t>(kRows), 2.0);
+      RmaHandle h = rma.nbacc2d(me, 1, 3.0, src.data(), kRows, kRows, 1,
+                                reg.base(1), kRows);
+      rma.wait(me, h);
+      EXPECT_EQ(h.status, RmaStatus::Ok);
+      EXPECT_EQ(h.attempts, 1);  // never re-issued
+    }
+    me.barrier();
+    if (me.id() == 1) {
+      for (index_t i = 0; i < kRows; ++i)
+        ASSERT_EQ(mine[i], 1.0 + 3.0 * 2.0);  // applied exactly once
+    }
+    me.barrier();
+  });
+  EXPECT_GT(team.total_trace().rma_op_timeouts, 0u);
+  EXPECT_EQ(team.total_trace().rma_retries, 0u);
+}
+
+TEST(FaultRecovery, WaitForParksAtDeadlineDuringRetryBackoff) {
+  // The deadline lands between a failed attempt's completion and its
+  // re-issue: wait_for must park exactly at the deadline — not charge the
+  // backoff or book a fresh attempt past it — and a later wait resumes
+  // the retry from the parked state.
+  Team team(MachineModel::testing(2, 1));
+  fault::FaultConfig f;
+  f.fail_rate = 1.0;
+  f.last_op = 0;  // only each rank's first RMA op fails; the retry succeeds
+  RetryPolicy rp;
+  rp.backoff_base = 1e-3;  // long pause: the deadline lands inside it
+  RmaConfig cfg;
+  cfg.faults = f;
+  cfg.retry = rp;
+  RmaRuntime rma(team, cfg);
+
+  constexpr std::size_t kElems = 256;
+  team.run([&](Rank& me) {
+    SymmetricRegion reg = rma.malloc_symmetric(me, kElems);
+    double* mine = reg.base(me.id());
+    for (std::size_t i = 0; i < kElems; ++i)
+      mine[i] = 10.0 * me.id() + 1.0;
+    me.barrier();
+    if (me.id() == 0) {
+      std::vector<double> dst(kElems, -1.0);
+      RmaHandle h = rma.nbget(me, 1, reg.base(1), dst.data(), kElems);
+      const double t0 = me.clock().now();
+      // Past the failed attempt's completion, inside the backoff window.
+      const double timeout = (h.completion - t0) + 0.5 * rp.backoff_base;
+      EXPECT_EQ(rma.wait_for(me, h, timeout), RmaStatus::Timeout);
+      EXPECT_TRUE(h.pending);
+      EXPECT_TRUE(h.retry_parked);
+      EXPECT_EQ(me.clock().now(), t0 + timeout);  // exactly timeout, no more
+      EXPECT_EQ(me.trace().rma_retries, 0u);      // no re-issue was booked
+
+      rma.wait(me, h);  // resumes backoff + re-issue; retry succeeds
+      EXPECT_EQ(h.status, RmaStatus::Ok);
+      EXPECT_EQ(h.attempts, 2);
+      for (std::size_t i = 0; i < kElems; ++i) ASSERT_EQ(dst[i], 11.0);
+    }
+    me.barrier();
+  });
+  EXPECT_EQ(team.total_trace().rma_retries, 1u);
+}
+
+TEST(FaultRecovery, SameDomainEagerSendsDrawNoDelay) {
+  // The intra-domain eager handoff schedules no wire, so the delay channel
+  // must not be drawn there — a drawn factor would inflate faults_delayed
+  // with delays that had no effect.
+  fault::FaultConfig f;
+  f.delay_rate = 1.0;
+  auto eager_exchange = [&](const MachineModel& mm) {
+    Team team(mm);
+    team.set_fault_plane(
+        std::make_shared<fault::FaultPlane>(team.machine(), f));
+    Comm comm(team);
+    const std::array<double, 4> buf{1.0, 2.0, 3.0, 4.0};
+    team.run([&](Rank& me) {
+      if (me.id() == 0) {
+        comm.send(me, 1, 7, buf.data(), buf.size());
+      } else {
+        std::array<double, 4> r{};
+        comm.recv(me, 0, 7, r.data(), r.size());
+        for (std::size_t i = 0; i < r.size(); ++i) ASSERT_EQ(r[i], buf[i]);
+      }
+    });
+    return team.total_trace().faults_delayed;
+  };
+  // Same domain: no wire, no draw, counter stays zero.
+  EXPECT_EQ(eager_exchange(MachineModel::testing(1, 2)), 0u);
+  // Inter-node: the factor really stretches the wire and is counted.
+  EXPECT_GT(eager_exchange(MachineModel::testing(2, 1)), 0u);
+}
+
 TEST(FaultRecovery, DeadDomainFallsBackToCopy) {
   fault::FaultConfig f;
   f.dead_domain = 1;
