@@ -15,7 +15,9 @@ int main() {
   using namespace srumma::bench;
   using blas::Trans;
 
-  std::cout << "Figure 5: direct access vs copy, N=2000, 16 CPUs\n\n";
+  const index_t n = smoke_n(2000, 200);
+  MetricsLog log("fig5");
+  std::cout << "Figure 5: direct access vs copy, N=" << n << ", 16 CPUs\n\n";
   struct Platform {
     const char* name;
     MachineModel machine;
@@ -33,18 +35,23 @@ int main() {
       direct.shm_flavor = ShmFlavor::Direct;
       SrummaOptions copy = direct;
       copy.shm_flavor = ShmFlavor::Copy;
-      const MultiplyResult rd = run_srumma(tb, 2000, 2000, 2000, direct);
-      const MultiplyResult rc = run_srumma(tb, 2000, 2000, 2000, copy);
-      table.add_row({ta == Trans::No ? "C=AB" : "C=AtB", gf(rd.gflops),
-                     gf(rc.gflops),
+      const MultiplyResult rd = run_srumma(tb, n, n, n, direct);
+      const MultiplyResult rc = run_srumma(tb, n, n, n, copy);
+      const char* op = ta == Trans::No ? "C=AB" : "C=AtB";
+      table.add_row({op, gf(rd.gflops), gf(rc.gflops),
                      rd.gflops >= rc.gflops ? "direct" : "copy"});
+      const trace::NumberMap params = {
+          {"n", static_cast<double>(n)},
+          {"cpus", static_cast<double>(tb.team.size())}};
+      log.add(std::string(p.name) + " " + op + " direct", rd, params);
+      log.add(std::string(p.name) + " " + op + " copy", rc, params);
     }
     table.print(std::cout, p.name);
     std::cout << "\n";
   }
   // The paper adds: "the gap between these two algorithms actually
   // increases for larger processor counts on the Altix" — show that cut.
-  std::cout << "Altix processor-count cut (N=2000):\n";
+  std::cout << "Altix processor-count cut (N=" << n << "):\n";
   TableWriter growth({"CPUs", "direct ms", "copy ms", "copy penalty %"});
   for (int cpus : {16, 32, 64, 128}) {
     Testbed tb(MachineModel::sgi_altix(cpus));
@@ -52,15 +59,19 @@ int main() {
     d.shm_flavor = ShmFlavor::Direct;
     SrummaOptions c;
     c.shm_flavor = ShmFlavor::Copy;
-    const MultiplyResult rd = run_srumma(tb, 2000, 2000, 2000, d);
-    const MultiplyResult rc = run_srumma(tb, 2000, 2000, 2000, c);
+    const MultiplyResult rd = run_srumma(tb, n, n, n, d);
+    const MultiplyResult rc = run_srumma(tb, n, n, n, c);
     growth.add_row({TableWriter::num(static_cast<long long>(cpus)),
                     ms(rd.elapsed), ms(rc.elapsed),
                     TableWriter::num(
                         100.0 * (rc.elapsed - rd.elapsed) / rd.elapsed, 1)});
+    const trace::NumberMap params = {{"n", static_cast<double>(n)},
+                                     {"cpus", static_cast<double>(cpus)}};
+    log.add("Altix growth direct", rd, params);
+    log.add("Altix growth copy", rc, params);
   }
   growth.print(std::cout);
   std::cout << "\nExpected shape: copy wins on the X1, direct on the Altix "
                "(with a gap that grows with P).\n";
-  return 0;
+  return log.write_env() ? 0 : 1;
 }

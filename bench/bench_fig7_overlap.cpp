@@ -96,17 +96,25 @@ double isend_overlap(Testbed& tb, std::size_t elems, double comm_time) {
   return std::clamp(1.0 - exposed / comm_time, 0.0, 1.0);
 }
 
-void run_machine(const std::string& name, MachineModel machine) {
+void run_machine(const std::string& name, MachineModel machine,
+                 MetricsLog& log) {
   Testbed tb(std::move(machine));
   TableWriter table(
       {"message bytes", "ARMCI nbget overlap %", "MPI isend overlap %"});
-  for (std::size_t bytes = 256; bytes <= (4u << 20); bytes *= 4) {
+  const std::size_t max_bytes = smoke_mode() ? (64u << 10) : (4u << 20);
+  for (std::size_t bytes = 256; bytes <= max_bytes; bytes *= 4) {
     const std::size_t elems = bytes / sizeof(double);
     const double tg = blocking_get_time(tb, elems);
     const double tm = blocking_send_time(tb, elems);
+    const double get_ov = get_overlap(tb, elems, tg);
+    const double send_ov = isend_overlap(tb, elems, tm);
     table.add_row({TableWriter::num(static_cast<long long>(bytes)),
-                   TableWriter::num(get_overlap(tb, elems, tg) * 100.0, 1),
-                   TableWriter::num(isend_overlap(tb, elems, tm) * 100.0, 1)});
+                   TableWriter::num(get_ov * 100.0, 1),
+                   TableWriter::num(send_ov * 100.0, 1)});
+    log.add_metrics(name,
+                    {{"armci_nbget_overlap", get_ov},
+                     {"mpi_isend_overlap", send_ov}},
+                    {{"bytes", static_cast<double>(bytes)}});
   }
   table.print(std::cout, name);
   std::cout << "\n";
@@ -121,7 +129,8 @@ int main() {
   std::cout << "Figure 7: potential communication/computation overlap vs "
                "message size\n(note the MPI cliff at the 16 KB "
                "eager->rendezvous switch)\n\n";
-  run_machine("IBM SP", MachineModel::ibm_sp(2));
-  run_machine("Linux cluster (Myrinet)", MachineModel::linux_myrinet(2));
-  return 0;
+  MetricsLog log("fig7");
+  run_machine("IBM SP", MachineModel::ibm_sp(2), log);
+  run_machine("Linux cluster (Myrinet)", MachineModel::linux_myrinet(2), log);
+  return log.write_env() ? 0 : 1;
 }

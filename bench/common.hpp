@@ -7,6 +7,7 @@
 // table or figure reports.
 
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 
@@ -17,9 +18,25 @@
 #include "msg/comm.hpp"
 #include "perf/model.hpp"
 #include "rma/rma.hpp"
+#include "trace/metrics_json.hpp"
 #include "util/table.hpp"
 
 namespace srumma::bench {
+
+using trace::MetricsLog;
+
+/// SRUMMA_BENCH_SMOKE=1 shrinks problem sizes so scripts/bench_report.sh
+/// can regenerate every BENCH_*.json in seconds; the emitted schema is
+/// identical to a full run (params record the sizes actually used).
+inline bool smoke_mode() {
+  const char* v = std::getenv("SRUMMA_BENCH_SMOKE");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+/// Problem size under the current mode: `full` normally, `small` in smoke.
+inline index_t smoke_n(index_t full, index_t small) {
+  return smoke_mode() ? small : full;
+}
 
 /// One machine + comm stack, reusable across experiment runs.
 struct Testbed {

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Regenerate the machine-readable bench metrics: one BENCH_<id>.json per
+# wired paper figure, written to the repo root in the stable
+# "srumma-bench-metrics/1" schema (docs/OBSERVABILITY.md §4) so the
+# performance trajectory is diffable across PRs.
+#
+# Default is smoke mode (SRUMMA_BENCH_SMOKE=1): shrunken problem sizes that
+# finish in seconds while exercising the identical code paths and emitting
+# the identical schema — the row params record the sizes actually used.
+# Pass --full for paper-sized runs.
+#
+# Usage: scripts/bench_report.sh [--full] [build-dir]
+# Exits non-zero if a bench fails or an emitted file does not validate.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+smoke=1
+if [[ "${1:-}" == "--full" ]]; then
+  smoke=0
+  shift
+fi
+build="${1:-$repo/build}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$build" -S "$repo" -DSRUMMA_BUILD_BENCH=ON
+cmake --build "$build" -j "$jobs" \
+  --target bench_fig3_pipeline --target bench_fig5_direct_vs_copy \
+  --target bench_fig7_overlap
+
+benches=(fig3:bench_fig3_pipeline fig5:bench_fig5_direct_vs_copy
+         fig7:bench_fig7_overlap)
+
+for entry in "${benches[@]}"; do
+  id="${entry%%:*}"
+  bin="${entry#*:}"
+  out="$repo/BENCH_${id}.json"
+  echo "== $bin -> $out (smoke=$smoke) =="
+  SRUMMA_BENCH_SMOKE="$smoke" SRUMMA_BENCH_JSON="$out" "$build/bench/$bin" \
+    > /dev/null
+  [[ -s "$out" ]] || { echo "bench_report: $out was not written"; exit 1; }
+done
+
+if command -v python3 > /dev/null; then
+  python3 - "$repo"/BENCH_fig{3,5,7}.json << 'EOF'
+import json, sys
+
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["schema"] == "srumma-bench-metrics/1", path
+    assert doc["bench"], path
+    assert doc["rows"], f"{path}: no rows"
+    for row in doc["rows"]:
+        assert row["label"], path
+        assert isinstance(row["params"], dict), path
+        assert row["metrics"], f"{path}: row without metrics"
+        for v in list(row["params"].values()) + list(row["metrics"].values()):
+            assert isinstance(v, (int, float)), f"{path}: non-numeric value"
+    print(f"{path}: ok ({len(doc['rows'])} rows)")
+EOF
+else
+  echo "bench_report: python3 not found, skipping JSON validation"
+fi
+
+echo "bench_report.sh: done"

@@ -11,6 +11,10 @@
 #       budget — every code path must survive transparent retries.
 #       Corruption is only injected inside the labeled suites, which
 #       verify and repair it; unsuspecting tests would (correctly) fail.
+#   1e. observability (docs/OBSERVABILITY.md): a small traced multiply
+#       (SRUMMA_TRACE) plus a smoke bench-metrics run, validating both
+#       emitted JSON documents (schema, matched async pairs, monotone
+#       per-rank instant/counter timestamps);
 #   2.  a TSan build running the concurrency-heavy suites
 #       (test_rma, test_runtime, test_srumma, test_rma_checker);
 #   3.  static analysis via scripts/lint.sh.
@@ -55,6 +59,62 @@ SRUMMA_FAULT_FAIL_RATE=0.002 \
 SRUMMA_FAULT_DELAY_RATE=0.002 \
 SRUMMA_FAULT_MAX_ATTEMPTS=20 \
   ctest --test-dir "$build" --output-on-failure -j "$jobs" -LE faults
+
+echo
+echo "== tier 1e: traced multiply + bench metrics, JSON validation =="
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+SRUMMA_TRACE="$trace_dir/trace.json" \
+  "$build/examples/quickstart" --n 96 --nodes 2 > /dev/null
+SRUMMA_BENCH_SMOKE=1 SRUMMA_BENCH_JSON="$trace_dir/fig3.json" \
+  "$build/bench/bench_fig3_pipeline" > /dev/null
+if command -v python3 > /dev/null; then
+  python3 - "$trace_dir/trace.json" "$trace_dir/fig3.json" << 'EOF'
+import json, sys
+from collections import defaultdict
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+assert trace["otherData"]["schema"] == "srumma-chrome-trace/1"
+events = trace["traceEvents"]
+assert events, "trace has no events"
+last_ts = defaultdict(float)   # per (pid, tid) monotone instants/counters
+open_async = defaultdict(dict)
+spans = counters = 0
+for e in events:
+    ph = e["ph"]
+    if ph == "M":
+        continue
+    key = (e["pid"], e["tid"])
+    assert e["ts"] >= 0.0, e
+    if ph == "X":
+        assert e["dur"] >= 0.0, e
+        spans += 1
+    elif ph == "b":
+        open_async[key][e["id"]] = e["ts"]
+        spans += 1
+    elif ph == "e":
+        assert e["ts"] >= open_async[key].pop(e["id"]), e
+    elif ph in ("i", "C"):
+        # Recorded at the owning rank's clock: must never run backwards.
+        assert e["ts"] >= last_ts[key] - 1e-9, e
+        last_ts[key] = e["ts"]
+        counters += ph == "C"
+    else:
+        raise AssertionError(f"unexpected phase {ph}")
+assert not any(open_async.values()), "unmatched async begin events"
+assert spans and counters, "expected both spans and counter samples"
+print(f"{sys.argv[1]}: ok ({len(events)} events)")
+
+with open(sys.argv[2]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "srumma-bench-metrics/1"
+assert doc["rows"] and all(r["metrics"] for r in doc["rows"])
+print(f"{sys.argv[2]}: ok ({len(doc['rows'])} rows)")
+EOF
+else
+  echo "check.sh: python3 not found, skipping trace JSON validation"
+fi
 
 echo
 echo "== tier 2: concurrency suites under TSan ($tsan_build) =="

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "blas/gemm.hpp"
+#include "trace/tracer.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -65,6 +66,8 @@ void acquire(Rank& me, DistMatrix& mat, index_t i0, index_t j0, index_t mi,
       // degrade this peer's access flavor to Copy — the one-sided get path
       // below still works, it just pays the buffer.
       me.trace().shm_fallbacks += 1;
+      if (trace::Tracer* tr = me.tracer())
+        tr->instant(me.id(), trace::Phase::ShmFallback, me.clock().now());
     } else if (owner.has_value()) {
       st.direct = true;
       // dgemm streams operands straight out of the owner's memory; when the
@@ -124,6 +127,11 @@ void verify_operand(Rank& me, DistMatrix& mat, OperandState& st) {
     const bool ok = mat.try_wait(me, h);
     me.trace().checksum_redos += 1;
     me.trace().time_recovery += me.clock().now() - t0;
+    if (trace::Tracer* tr = me.tracer()) {
+      tr->span(me.id(), trace::Phase::Redo, t0, me.clock().now());
+      tr->counter_set(me.id(), trace::CounterId::RecoverySeconds,
+                      me.clock().now(), me.trace().time_recovery);
+    }
     if (!ok) {
       st.failed = true;
       return;
@@ -141,6 +149,9 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
   me.barrier();
   const double start_vt = me.clock().now();
   const TraceCounters my_start = me.trace();
+  // Entry barrier to exit barrier, including collect_result's reduction.
+  trace::SpanGuard multiply_span(me.tracer(), me.id(), trace::Phase::Multiply,
+                                 me.clock());
 
   SrummaOptions tuned = opt;
   if (tuned.k_chunk == 0) {
@@ -210,6 +221,8 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
   auto issue = [&](std::size_t t_idx) {
     const Task& t = tasks[t_idx];
     const std::size_t slot = t_idx % n_slots;
+    if (trace::Tracer* tr = me.tracer())
+      tr->instant(me.id(), trace::Phase::TaskIssue, me.clock().now(), t_idx);
     // A: reuse a live matching patch if the policy allows.
     std::ptrdiff_t ai = -1;
     if (opt.ordering.a_reuse) {
@@ -256,6 +269,10 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
     // By value: a requeue below push_backs into `tasks`, which may
     // reallocate out from under a reference.
     const Task t = tasks[t_idx];
+    // Operand wait + verify + dgemm for this task (issue() above is outside:
+    // issued fetches belong to the async comm tracks).
+    trace::SpanGuard task_span(me.tracer(), me.id(), trace::Phase::Task,
+                               me.clock(), t_idx);
     const std::size_t slot = t_idx % n_slots;
     OperandState& as = a_state[slot_a[slot]];
     OperandState& bs = b_state[slot];
@@ -281,6 +298,8 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
                      "failing after RMA retries");
       ++requeues;
       me.trace().task_requeues += 1;
+      if (trace::Tracer* tr = me.tracer())
+        tr->instant(me.id(), trace::Phase::Requeue, me.clock().now(), t_idx);
       tasks.push_back(t);
       continue;
     }

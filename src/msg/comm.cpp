@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "runtime/abortable_wait.hpp"
+#include "trace/tracer.hpp"
 #include "util/error.hpp"
 
 namespace srumma {
@@ -94,6 +95,7 @@ void Comm::send_eager(Rank& me, int dst, int tag, const double* buf,
                       std::size_t elems) {
   const MachineModel& mm = team_.machine();
   const std::size_t bytes = elems * sizeof(double);
+  const double issue_vt = me.clock().now();
   // Sender-side: per-message latency plus the copy into the eager buffer.
   me.clock().advance(mm.mpi_latency +
                      static_cast<double>(bytes) / mm.mpi_copy_bw);
@@ -115,6 +117,8 @@ void Comm::send_eager(Rank& me, int dst, int tag, const double* buf,
   me.trace().time_comm += dur;
   me.trace().bytes_msg += bytes;
   me.trace().sends += 1;
+  if (trace::Tracer* tr = team_.tracer_ptr())
+    tr->span(me.id(), trace::Phase::Send, issue_vt, arrival, bytes);
 
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   std::lock_guard<std::mutex> lock(box.mu);
@@ -149,6 +153,7 @@ void Comm::send_blocking_rendezvous(Rank& me, int dst, int tag,
                                     const double* buf, std::size_t elems) {
   const MachineModel& mm = team_.machine();
   const std::size_t bytes = elems * sizeof(double);
+  const double issue_vt = me.clock().now();
   me.clock().advance(mm.mpi_latency);  // RTS
   const double sender_ready = me.clock().now();
   // Drawn here, on the sender's thread, even though the wire may be
@@ -205,8 +210,12 @@ void Comm::send_blocking_rendezvous(Rank& me, int dst, int tag,
     me.trace().time_wait += rv->completion - before;
     if (Timeline* tl = team_.timeline())
       tl->record(me.id(), EventKind::Wait, before, rv->completion);
+    if (trace::Tracer* tr = team_.tracer_ptr())
+      tr->span(me.id(), trace::Phase::Wait, before, rv->completion);
   }
   me.clock().sync_to(rv->completion);
+  if (trace::Tracer* tr = team_.tracer_ptr())
+    tr->span(me.id(), trace::Phase::Send, issue_vt, rv->completion, bytes);
 }
 
 void Comm::send(Rank& me, int dst, int tag, const double* buf,
@@ -260,6 +269,7 @@ RecvHandle Comm::irecv(Rank& me, int src, int tag, double* buf,
 
   RecvHandle h;
   h.pending = true;
+  const double pr_post_vt = me.clock().now();
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(me.id())];
   std::lock_guard<std::mutex> lock(box.mu);
   // Try unexpected messages first (FIFO per source/tag).
@@ -285,6 +295,8 @@ RecvHandle Comm::irecv(Rank& me, int src, int tag, double* buf,
       }
       h.done = true;
       box.unexpected.erase(it);
+      if (trace::Tracer* tr = team_.tracer_ptr())
+        tr->span(me.id(), trace::Phase::Recv, pr_post_vt, h.completion, bytes);
       return h;
     }
   }
@@ -309,12 +321,17 @@ void Comm::wait(Rank& me, RecvHandle& h) {
     std::unique_lock<std::mutex> lock(box.mu);
     wait_abortable(lock, box.cv, team_, [&] { return pr->done; });
     completion = pr->completion;
+    if (trace::Tracer* tr = team_.tracer_ptr())
+      tr->span(me.id(), trace::Phase::Recv, pr->posted_vt, completion,
+               pr->elems * sizeof(double));
   }
   const double before = me.clock().now();
   if (completion > before) {
     me.trace().time_wait += completion - before;
     if (Timeline* tl = team_.timeline())
       tl->record(me.id(), EventKind::Wait, before, completion);
+    if (trace::Tracer* tr = team_.tracer_ptr())
+      tr->span(me.id(), trace::Phase::Wait, before, completion);
   }
   me.clock().sync_to(completion);
   h.pending = false;

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "runtime/abortable_wait.hpp"
+#include "trace/tracer.hpp"
 #include "util/error.hpp"
 
 namespace srumma {
@@ -155,7 +156,11 @@ RmaHandle RmaRuntime::transfer(Rank& me, int owner, std::size_t bytes,
     fd = fp->on_transfer(me.id(), owner, t0);
     h.failed = fd.fail;
     h.corrupted = fd.corrupt;
-    if (fd.fail) me.trace().faults_injected += 1;
+    if (fd.fail) {
+      me.trace().faults_injected += 1;
+      if (trace::Tracer* tr = team_.tracer_ptr())
+        tr->instant(me.id(), trace::Phase::Fault, t0);
+    }
     if (fd.delay > 1.0) me.trace().faults_delayed += 1;
     // faults_corrupted is counted where the corruption is applied: the nb*
     // entry points (accumulates are exempt — a corrupted read-modify-write
@@ -225,6 +230,36 @@ std::uint64_t corrupt_salt(int rank, int owner, double issue_vt) {
          std::bit_cast<std::uint64_t>(issue_vt);
 }
 
+/// Payload size of a replayable op — the amount the in-flight counter
+/// tracks from issue (nb*) to consumption (wait_impl).
+std::uint64_t op_bytes(const ReplayOp& op) {
+  switch (op.kind) {
+    case ReplayOp::Kind::Get:
+      return static_cast<std::uint64_t>(op.elems) * sizeof(double);
+    case ReplayOp::Kind::Get2d:
+    case ReplayOp::Kind::Put2d:
+    case ReplayOp::Kind::Acc2d:
+      return static_cast<std::uint64_t>(op.rows) *
+             static_cast<std::uint64_t>(op.cols) * sizeof(double);
+    case ReplayOp::Kind::None:
+      break;
+  }
+  return 0;
+}
+
+/// Trace one issued one-sided op: an async in-flight span [issue,
+/// completion] plus in-flight byte/depth counter bumps, matched by the
+/// decrement at consumption time in wait_impl.
+void trace_issue(trace::Tracer* tr, int rank, trace::Phase ph,
+                 const RmaHandle& h) {
+  if (tr == nullptr) return;
+  const std::uint64_t bytes = op_bytes(h.op);
+  tr->span(rank, ph, h.issue_vt, h.completion, bytes);
+  tr->counter_add(rank, trace::CounterId::InflightBytes, h.issue_vt,
+                  static_cast<double>(bytes));
+  tr->counter_add(rank, trace::CounterId::InflightOps, h.issue_vt, 1.0);
+}
+
 }  // namespace
 
 RmaHandle RmaRuntime::nbget(Rank& me, int owner, const double* src,
@@ -251,6 +286,7 @@ RmaHandle RmaRuntime::nbget(Rank& me, int owner, const double* src,
     }
   }
   me.trace().gets += 1;
+  trace_issue(team_.tracer_ptr(), me.id(), trace::Phase::Get, h);
   return h;
 }
 
@@ -289,6 +325,7 @@ RmaHandle RmaRuntime::nbget2d(Rank& me, int owner, const double* src,
     }
   }
   me.trace().gets += 1;
+  trace_issue(team_.tracer_ptr(), me.id(), trace::Phase::Get, h);
   return h;
 }
 
@@ -327,6 +364,7 @@ RmaHandle RmaRuntime::nbput2d(Rank& me, int owner, const double* src,
     }
   }
   me.trace().puts += 1;
+  trace_issue(team_.tracer_ptr(), me.id(), trace::Phase::Put, h);
   return h;
 }
 
@@ -384,6 +422,7 @@ RmaHandle RmaRuntime::nbacc2d(Rank& me, int owner, double alpha,
         dst[i + j * ld_dst] += alpha * src[i + j * ld_src];
   }
   me.trace().puts += 1;
+  trace_issue(team_.tracer_ptr(), me.id(), trace::Phase::Acc, h);
   return h;
 }
 
@@ -429,6 +468,8 @@ RmaStatus RmaRuntime::wait_impl(Rank& me, RmaHandle& h, double timeout,
         if (deadline > now) {
           me.trace().time_wait += deadline - now;
           me.clock().sync_to(deadline);
+          if (trace::Tracer* tr = team_.tracer_ptr())
+            tr->span(me.id(), trace::Phase::Wait, now, deadline);
         }
         return RmaStatus::Timeout;
       }
@@ -455,13 +496,34 @@ RmaStatus RmaRuntime::wait_impl(Rank& me, RmaHandle& h, double timeout,
         // accumulate would apply alpha*src a second time.  The overrun is
         // still counted; the attempt is kept.
         me.trace().rma_op_timeouts += 1;
+        if (trace::Tracer* tr = team_.tracer_ptr())
+          tr->instant(me.id(), trace::Phase::OpTimeout, me.clock().now());
         if (h.op.kind != ReplayOp::Kind::Acc2d) attempt_failed = true;
+      }
+      // The attempt is consumed either way: retire its in-flight counters
+      // (a re-issue below re-increments them) and classify the wait span
+      // now that success/failure is known — Wait feeds time_wait only,
+      // RecoveryWait feeds both time_wait and time_recovery, which is what
+      // keeps span totals reconcilable with the counters.
+      if (trace::Tracer* tr = team_.tracer_ptr()) {
+        const double now = me.clock().now();
+        tr->counter_add(me.id(), trace::CounterId::InflightBytes, now,
+                        -static_cast<double>(op_bytes(h.op)));
+        tr->counter_add(me.id(), trace::CounterId::InflightOps, now, -1.0);
+        if (waited > 0.0)
+          tr->span(me.id(),
+                   attempt_failed ? trace::Phase::RecoveryWait
+                                  : trace::Phase::Wait,
+                   before, h.completion);
       }
       if (!attempt_failed) {
         h.status = RmaStatus::Ok;
         return RmaStatus::Ok;
       }
       me.trace().time_recovery += waited;  // time sunk into the failed attempt
+      if (trace::Tracer* tr = team_.tracer_ptr())
+        tr->counter_set(me.id(), trace::CounterId::RecoverySeconds,
+                        me.clock().now(), me.trace().time_recovery);
 
       if (h.attempts >= retry_.max_attempts) {
         h.status = RmaStatus::Error;
@@ -494,14 +556,28 @@ RmaStatus RmaRuntime::wait_impl(Rank& me, RmaHandle& h, double timeout,
       if (deadline > now) {
         me.trace().time_recovery += deadline - now;
         me.clock().sync_to(deadline);
+        if (trace::Tracer* tr = team_.tracer_ptr()) {
+          tr->span(me.id(), trace::Phase::Backoff, now, deadline);
+          tr->counter_set(me.id(), trace::CounterId::RecoverySeconds, deadline,
+                          me.trace().time_recovery);
+        }
       }
       return RmaStatus::Timeout;
     }
     if (backoff > 0.0) {
+      const double b0 = me.clock().now();
       me.clock().advance(backoff);
       me.trace().time_recovery += backoff;
+      if (trace::Tracer* tr = team_.tracer_ptr()) {
+        tr->span(me.id(), trace::Phase::Backoff, b0, me.clock().now());
+        tr->counter_set(me.id(), trace::CounterId::RecoverySeconds,
+                        me.clock().now(), me.trace().time_recovery);
+      }
     }
     me.trace().rma_retries += 1;
+    if (trace::Tracer* tr = team_.tracer_ptr())
+      tr->instant(me.id(), trace::Phase::Retry, me.clock().now(),
+                  static_cast<std::uint64_t>(h.attempts));
 
     // Re-issue through the public nb* path: a fresh checker-visible op with
     // its own check_id (never a double wait) and a fresh fault draw.

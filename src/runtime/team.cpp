@@ -5,6 +5,7 @@
 #include <exception>
 #include <thread>
 
+#include "trace/chrome_trace.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -13,6 +14,8 @@ namespace srumma {
 int Rank::node() const noexcept { return team_->machine().node_of(id_); }
 int Rank::domain() const noexcept { return team_->machine().domain_of(id_); }
 const MachineModel& Rank::machine() const noexcept { return team_->machine(); }
+
+trace::Tracer* Rank::tracer() noexcept { return team_->tracer_ptr(); }
 
 void Rank::barrier() { team_->barrier_wait(*this); }
 
@@ -24,6 +27,9 @@ void Rank::charge_gemm(index_t m, index_t n, index_t k, double rate_factor) {
   clock_.advance(dt);
   if (Timeline* tl = team_->timeline())
     tl->record(id_, EventKind::Compute, before, before + dt);
+  if (trace::Tracer* tr = tracer())
+    tr->span(id_, trace::Phase::Compute, before, before + dt,
+             static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n));
   trace_.time_compute += dt;
   trace_.gemm_calls += 1;
   trace_.flops += gemm_flops(static_cast<double>(m), static_cast<double>(n),
@@ -61,6 +67,8 @@ void Rank::consume_cpu(double dt) {
     clock_.advance(mm.noise_daemon_duration);
     if (Timeline* tl = team_->timeline())
       tl->record(id_, EventKind::Noise, before, clock_.now());
+    if (trace::Tracer* tr = tracer())
+      tr->span(id_, trace::Phase::Noise, before, clock_.now());
     trace_.time_noise += mm.noise_daemon_duration;
     next_preempt_ += next_gap();
   }
@@ -83,6 +91,25 @@ Team::Team(MachineModel machine)
     ranks_.push_back(std::make_unique<Rank>(this, r));
   }
   faults_ = fault::plane_from_env(machine_);
+  if (auto cfg = trace::TracerConfig::from_env()) enable_tracer(*cfg);
+}
+
+Team::~Team() { flush_trace(); }
+
+void Team::enable_tracer(trace::TracerConfig cfg) {
+  std::vector<trace::TrackInfo> tracks;
+  tracks.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r)
+    tracks.push_back({machine_.node_of(r), machine_.domain_of(r)});
+  tracer_ = std::make_unique<trace::Tracer>(std::move(tracks), std::move(cfg));
+}
+
+bool Team::flush_trace() {
+  if (!tracer_ || tracer_->config().path.empty()) return true;
+  bool any = false;
+  for (int r = 0; r < size_ && !any; ++r) any = tracer_->recorded(r) > 0;
+  if (!any) return true;
+  return trace::write_chrome_trace_file(tracer_->config().path, *tracer_);
 }
 
 Rank& Team::rank(int id) {
@@ -122,6 +149,9 @@ void Team::reset() {
   }
   net_.reset();
   if (timeline_) timeline_->clear();
+  // Drop traced events so timestamps stay monotone within one recording:
+  // after a reset the trace covers the Team's most recent run.
+  if (tracer_) tracer_->clear();
   {
     std::lock_guard<std::mutex> lock(barrier_mu_);
     barrier_arrived_ = 0;
@@ -207,8 +237,11 @@ void Team::notify_epoch_observers(int rank) {
 }
 
 void Team::barrier_wait(Rank& me) {
-  if (has_epoch_observers_.load(std::memory_order_acquire))
+  if (has_epoch_observers_.load(std::memory_order_acquire)) {
+    if (trace::Tracer* tr = tracer_.get())
+      tr->instant(me.id(), trace::Phase::Epoch, me.clock().now());
     notify_epoch_observers(me.id());
+  }
 
   const double barrier_cost =
       machine_.barrier_hop_latency *
@@ -233,6 +266,10 @@ void Team::barrier_wait(Rank& me) {
   if (Timeline* tl = timeline_.get()) {
     if (barrier_release_ > before)
       tl->record(me.id(), EventKind::Barrier, before, barrier_release_);
+  }
+  if (trace::Tracer* tr = tracer_.get()) {
+    if (barrier_release_ > before)
+      tr->span(me.id(), trace::Phase::Barrier, before, barrier_release_);
   }
 }
 

@@ -20,6 +20,7 @@
 
 #include "fault/fault_plane.hpp"
 #include "machine/machine.hpp"
+#include "trace/tracer.hpp"
 #include "vtime/clock.hpp"
 #include "vtime/network.hpp"
 #include "vtime/timeline.hpp"
@@ -44,6 +45,11 @@ class Rank {
 
   [[nodiscard]] VClock& clock() noexcept { return clock_; }
   [[nodiscard]] TraceCounters& trace() noexcept { return trace_; }
+
+  /// The team's structured event tracer; nullptr when tracing is off (the
+  /// common case — instrumentation sites null-test it, exactly like the
+  /// RMA checker and the fault plane).
+  [[nodiscard]] trace::Tracer* tracer() noexcept;
 
   /// Synchronize all ranks; every clock advances to the team max plus the
   /// modeled tree-barrier cost.
@@ -80,6 +86,10 @@ class Team {
  public:
   /// One rank per CPU described by the machine model.
   explicit Team(MachineModel machine);
+  /// Flushes the structured trace (see flush_trace) before teardown.
+  ~Team();
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
 
   [[nodiscard]] int size() const noexcept { return size_; }
   [[nodiscard]] const MachineModel& machine() const noexcept { return machine_; }
@@ -145,6 +155,19 @@ class Team {
   /// nullptr when recording is disabled.
   [[nodiscard]] Timeline* timeline() noexcept { return timeline_.get(); }
 
+  /// Install the structured event tracer (src/trace/tracer.hpp); replaces
+  /// any existing tracer.  Auto-installed from the SRUMMA_TRACE environment
+  /// at construction.  reset() clears recorded events but keeps tracing
+  /// enabled, so a trace covers the Team's most recent run.
+  void enable_tracer(trace::TracerConfig cfg);
+  [[nodiscard]] trace::Tracer* tracer_ptr() noexcept { return tracer_.get(); }
+
+  /// Write the Chrome-trace JSON to the tracer's configured path (no-op
+  /// when tracing is off, the path is empty, or no events were recorded).
+  /// Called automatically from the destructor; call earlier to inspect the
+  /// file while the Team is still alive.  Returns false on I/O failure.
+  bool flush_trace();
+
   /// Register a callback invoked with the rank id every time that rank
   /// *enters* a barrier (before it blocks) — the epoch-advance hook the RMA
   /// checker uses to close an access epoch.  Returns an id for
@@ -168,6 +191,7 @@ class Team {
   std::vector<TraceCounters> trace_board_;
   std::vector<double> value_board_;
   std::unique_ptr<Timeline> timeline_;
+  std::unique_ptr<trace::Tracer> tracer_;
   std::shared_ptr<fault::FaultPlane> faults_;
 
   std::mutex abort_cv_mu_;

@@ -1,0 +1,82 @@
+#pragma once
+// Machine-readable bench metrics.
+//
+// Every paper-figure bench prints a human table; this layer additionally
+// serializes the underlying MultiplyResult/TraceCounters rows to a stable
+// JSON document so the performance trajectory is diffable across PRs
+// (scripts/bench_report.sh writes BENCH_fig3.json etc.).
+//
+// Schema "srumma-bench-metrics/1" (see docs/OBSERVABILITY.md §4):
+//   {
+//     "schema":  "srumma-bench-metrics/1",
+//     "bench":   "<bench id, e.g. fig3>",
+//     "rows": [
+//       { "label":   "<experiment arm>",
+//         "params":  { "<name>": <number>, ... },      // inputs (n, ranks, ...)
+//         "metrics": { "<name>": <number>, ... },      // outputs
+//         "counters": { ... every TraceCounters field ... }   // multiply rows
+//       }, ...
+//     ]
+//   }
+// Multiply rows carry metrics elapsed_s / gflops / overlap plus the full
+// team-aggregated counters block; scalar rows (e.g. Fig. 7 overlap
+// percentages) carry caller-named metrics and no counters block.  Fields
+// are only ever added to the schema, never renamed, so BENCH_*.json files
+// from different PRs stay comparable.
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/report.hpp"
+#include "vtime/trace_counters.hpp"
+
+namespace srumma::trace {
+
+/// Every TraceCounters field as a JSON object (the "counters" block).
+[[nodiscard]] std::string counters_json(const TraceCounters& t);
+
+/// Named (key, value) pairs; keys are emitted in insertion order.
+using NumberMap = std::vector<std::pair<std::string, double>>;
+
+class MetricsLog {
+ public:
+  explicit MetricsLog(std::string bench) : bench_(std::move(bench)) {}
+
+  /// A multiply-experiment row: elapsed/gflops/overlap + full counters.
+  void add(const std::string& label, const MultiplyResult& r,
+           NumberMap params = {});
+
+  /// A scalar row for benches whose outputs are not MultiplyResults.
+  void add_metric(const std::string& label, const std::string& metric,
+                  double value, NumberMap params = {});
+
+  /// A row with several caller-named metrics and no counters block.
+  void add_metrics(const std::string& label, NumberMap metrics,
+                   NumberMap params = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::string json() const;
+  bool write_file(const std::string& path) const;
+
+  /// SRUMMA_BENCH_JSON, or "" when unset — benches call write_env() once at
+  /// exit; with the variable unset it is a no-op, so plain bench runs keep
+  /// printing tables only.
+  [[nodiscard]] static std::string env_path();
+  /// Write json() to env_path() when set.  Returns false only on I/O error.
+  bool write_env() const;
+
+ private:
+  struct Row {
+    std::string label;
+    NumberMap params;
+    NumberMap metrics;
+    std::optional<TraceCounters> counters;
+  };
+
+  std::string bench_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace srumma::trace

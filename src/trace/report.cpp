@@ -4,6 +4,14 @@
 
 namespace srumma {
 
+// Trips when TraceCounters grows: every field must be handled in
+// trace_delta below, operator+= (vtime/trace_counters.hpp) and
+// counters_json (trace/metrics_json.cpp), with its SUM/MAX aggregation
+// documented on the field.
+static_assert(sizeof(TraceCounters) == 25 * sizeof(double),
+              "TraceCounters changed — update trace_delta, operator+=, "
+              "counters_json and the per-field aggregation comments");
+
 TraceCounters trace_delta(const TraceCounters& end, const TraceCounters& start) {
   TraceCounters d;
   d.time_compute = end.time_compute - start.time_compute;

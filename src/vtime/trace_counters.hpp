@@ -4,6 +4,13 @@
 // Every rank accumulates these as it executes; the trace module aggregates
 // them into the per-experiment reports (achieved overlap, bytes moved by
 // protocol, host-CPU steal).  All fields are in seconds or bytes.
+//
+// Aggregation: every field is summed across ranks (operator+=) and
+// differenced across run snapshots (trace_delta) EXCEPT buffer_bytes_peak,
+// which is a per-run high-water mark — MAX across ranks, end value across
+// snapshots.  When adding a field, update operator+= below, trace_delta and
+// the sizeof guard in trace/report.cpp, and counters_json in
+// trace/metrics_json.cpp (docs/OBSERVABILITY.md documents the schema).
 
 #include <algorithm>
 #include <cstdint>
@@ -11,42 +18,46 @@
 namespace srumma {
 
 struct TraceCounters {
-  // -- computation ----------------------------------------------------------
-  double time_compute = 0.0;  ///< modeled dgemm time
-  std::uint64_t gemm_calls = 0;
-  double flops = 0.0;
+  // -- computation (SUM) ----------------------------------------------------
+  double time_compute = 0.0;  ///< modeled dgemm time (SUM)
+  std::uint64_t gemm_calls = 0;  ///< (SUM)
+  double flops = 0.0;            ///< (SUM)
 
-  // -- communication --------------------------------------------------------
-  double time_comm = 0.0;  ///< modeled transfer durations issued by this rank
+  // -- communication (SUM) --------------------------------------------------
+  double time_comm = 0.0;  ///< modeled transfer durations issued (SUM)
   double time_wait = 0.0;  ///< clock actually lost blocking on completions
-  double time_noise = 0.0; ///< OS daemon-preemption time injected
-  std::uint64_t bytes_shm = 0;     ///< intra-domain copy traffic
-  std::uint64_t bytes_remote = 0;  ///< inter-node RMA traffic
-  std::uint64_t bytes_msg = 0;     ///< two-sided (MPI-model) traffic sent
-  std::uint64_t gets = 0;
-  std::uint64_t puts = 0;
-  std::uint64_t sends = 0;
-  std::uint64_t recvs = 0;
-  std::uint64_t direct_tasks = 0;  ///< block products fed views in place
-  std::uint64_t copy_tasks = 0;    ///< block products fed copied buffers
+                           ///< (SUM); equals the traced Wait + RecoveryWait
+                           ///< span totals (see trace/tracer.hpp)
+  double time_noise = 0.0; ///< OS daemon-preemption time injected (SUM)
+  std::uint64_t bytes_shm = 0;     ///< intra-domain copy traffic (SUM)
+  std::uint64_t bytes_remote = 0;  ///< inter-node RMA traffic (SUM)
+  std::uint64_t bytes_msg = 0;     ///< two-sided (MPI-model) traffic sent (SUM)
+  std::uint64_t gets = 0;   ///< (SUM)
+  std::uint64_t puts = 0;   ///< (SUM; includes accumulates)
+  std::uint64_t sends = 0;  ///< (SUM)
+  std::uint64_t recvs = 0;  ///< (SUM)
+  std::uint64_t direct_tasks = 0;  ///< block products fed views in place (SUM)
+  std::uint64_t copy_tasks = 0;    ///< block products fed copied buffers (SUM)
   /// Algorithm-internal buffer memory on one rank for the most recent
   /// collective operation (communication panels, circulation temps,
   /// redistribution temporaries — not the matrices themselves).  Each
-  /// top-level algorithm overwrites it per run; aggregated across ranks by
-  /// MAX, so a team-level result reports the worst rank's footprint.
+  /// top-level algorithm overwrites it per run; the one MAX-aggregated
+  /// field: team totals report the worst rank's footprint, and trace_delta
+  /// carries the end value instead of a difference.
   std::uint64_t buffer_bytes_peak = 0;
 
-  // -- fault injection & recovery (src/fault, RetryPolicy, pipeline) --------
-  std::uint64_t faults_injected = 0;   ///< transient failures injected
-  std::uint64_t faults_corrupted = 0;  ///< payload corruptions applied
-  std::uint64_t faults_delayed = 0;    ///< straggler-op delays applied
-  std::uint64_t rma_retries = 0;       ///< re-issues performed by waits
-  std::uint64_t rma_op_timeouts = 0;   ///< attempts abandoned by op_timeout
-  std::uint64_t task_requeues = 0;     ///< pipeline tasks re-enqueued at tail
-  std::uint64_t shm_fallbacks = 0;     ///< Direct -> Copy operand degradations
-  std::uint64_t checksum_redos = 0;    ///< block products redone (corruption)
+  // -- fault injection & recovery (SUM) (src/fault, RetryPolicy, pipeline) --
+  std::uint64_t faults_injected = 0;   ///< transient failures injected (SUM)
+  std::uint64_t faults_corrupted = 0;  ///< payload corruptions applied (SUM)
+  std::uint64_t faults_delayed = 0;    ///< straggler-op delays applied (SUM)
+  std::uint64_t rma_retries = 0;       ///< re-issues performed by waits (SUM)
+  std::uint64_t rma_op_timeouts = 0;   ///< attempts hit op_timeout (SUM)
+  std::uint64_t task_requeues = 0;     ///< tasks re-enqueued at tail (SUM)
+  std::uint64_t shm_fallbacks = 0;     ///< Direct -> Copy degradations (SUM)
+  std::uint64_t checksum_redos = 0;    ///< patches refetched (corruption) (SUM)
   /// Virtual time sunk into recovery: waits on failed attempts, retry
-  /// backoff, checksum verification refetches and redone block products.
+  /// backoff, checksum verification refetches and redone block products
+  /// (SUM); equals the traced RecoveryWait + Backoff + Redo span totals.
   double time_recovery = 0.0;
 
   /// Fraction of issued communication hidden behind computation:
