@@ -9,6 +9,10 @@
 //     A-reuse opportunity.
 //   * lookahead — prefetch depth (paper: 1 = the classic double buffer);
 //     deeper pipelines are an extension ablated here.
+//
+// --cache / --no-cache reruns every sweep with the cooperative
+// remote-block cache toggled (src/cache); its bytes-saved gauge rides
+// along in the metrics JSON rows.
 
 #include <iostream>
 
@@ -17,8 +21,10 @@
 namespace srumma::bench {
 namespace {
 
-void k_chunk_sweep(const std::string& name, MachineModel machine, index_t n) {
-  Testbed tb(std::move(machine));
+void k_chunk_sweep(const std::string& name, MachineModel machine, index_t n,
+                   std::optional<bool> cache, MetricsLog& log) {
+  Testbed tb(std::move(machine), cache_rma_config(cache));
+  const double cached = cache_engaged(tb.rma) ? 1.0 : 0.0;
   TableWriter table({"k_chunk", "time ms", "GFLOP/s", "overlap %",
                      "gets/rank"});
   for (index_t kc : {0, 32, 64, 125, 250, 500, 1000}) {
@@ -30,14 +36,19 @@ void k_chunk_sweep(const std::string& name, MachineModel machine, index_t n) {
                    TableWriter::num(r.overlap * 100.0, 1),
                    TableWriter::num(static_cast<long long>(
                        r.trace.gets / static_cast<std::uint64_t>(tb.team.size())))});
+    log.add("k_chunk/" + name, r,
+            {{"n", static_cast<double>(n)},
+             {"k_chunk", static_cast<double>(kc)},
+             {"cache", cached}});
   }
   table.print(std::cout, name + ": k_chunk sweep, N=" + std::to_string(n));
   std::cout << "\n";
 }
 
-void lookahead_sweep(const std::string& name, MachineModel machine,
-                     index_t n) {
-  Testbed tb(std::move(machine));
+void lookahead_sweep(const std::string& name, MachineModel machine, index_t n,
+                     std::optional<bool> cache, MetricsLog& log) {
+  Testbed tb(std::move(machine), cache_rma_config(cache));
+  const double cached = cache_engaged(tb.rma) ? 1.0 : 0.0;
   TableWriter table({"lookahead", "time ms", "GFLOP/s", "overlap %"});
   for (int la : {1, 2, 4, 8}) {
     SrummaOptions opt = platform_options(tb.team.machine());
@@ -47,13 +58,19 @@ void lookahead_sweep(const std::string& name, MachineModel machine,
     table.add_row({TableWriter::num(static_cast<long long>(la)),
                    ms(r.elapsed), gf(r.gflops),
                    TableWriter::num(r.overlap * 100.0, 1)});
+    log.add("lookahead/" + name, r,
+            {{"n", static_cast<double>(n)},
+             {"lookahead", static_cast<double>(la)},
+             {"cache", cached}});
   }
   table.print(std::cout, name + ": prefetch-depth sweep, N=" + std::to_string(n));
   std::cout << "\n";
 }
 
-void c_chunk_sweep(const std::string& name, MachineModel machine, index_t n) {
-  Testbed tb(std::move(machine));
+void c_chunk_sweep(const std::string& name, MachineModel machine, index_t n,
+                   std::optional<bool> cache, MetricsLog& log) {
+  Testbed tb(std::move(machine), cache_rma_config(cache));
+  const double cached = cache_engaged(tb.rma) ? 1.0 : 0.0;
   TableWriter table({"c_chunk", "time ms", "GFLOP/s", "buffer KB/rank"});
   for (index_t cc : {0, 64, 128, 256, 512}) {
     SrummaOptions opt = platform_options(tb.team.machine());
@@ -65,6 +82,10 @@ void c_chunk_sweep(const std::string& name, MachineModel machine, index_t n) {
         2.0 * 3.0 * static_cast<double>(tile) * 512.0 * 8.0 / 1024.0;
     table.add_row({cc == 0 ? "whole" : TableWriter::num(static_cast<long long>(cc)),
                    ms(r.elapsed), gf(r.gflops), TableWriter::num(buf_kb, 0)});
+    log.add("c_chunk/" + name, r,
+            {{"n", static_cast<double>(n)},
+             {"c_chunk", static_cast<double>(cc)},
+             {"cache", cached}});
   }
   table.print(std::cout,
               name + ": C-tile sweep (memory cap), N=" + std::to_string(n));
@@ -74,16 +95,21 @@ void c_chunk_sweep(const std::string& name, MachineModel machine, index_t n) {
 }  // namespace
 }  // namespace srumma::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace srumma;
   using namespace srumma::bench;
+  const std::optional<bool> cache = parse_cache_flag(argc, argv);
   std::cout << "Ablation: empirical block-size tuning (paper Section 4) and "
                "the prefetch-depth extension\n\n";
-  k_chunk_sweep("Linux cluster, 16 CPUs", MachineModel::linux_myrinet(8), 2000);
-  k_chunk_sweep("SGI Altix, 32 CPUs", MachineModel::sgi_altix(32), 2000);
-  lookahead_sweep("Linux cluster, 16 CPUs", MachineModel::linux_myrinet(8),
-                  2000);
-  c_chunk_sweep("Linux cluster, 16 CPUs", MachineModel::linux_myrinet(8),
-                2000);
-  return 0;
+  MetricsLog log("ablation_blocksize");
+  const index_t n = smoke_n(2000, 256);
+  k_chunk_sweep("Linux cluster, 16 CPUs", MachineModel::linux_myrinet(8), n,
+                cache, log);
+  k_chunk_sweep("SGI Altix, 32 CPUs", MachineModel::sgi_altix(32), n, cache,
+                log);
+  lookahead_sweep("Linux cluster, 16 CPUs", MachineModel::linux_myrinet(8), n,
+                  cache, log);
+  c_chunk_sweep("Linux cluster, 16 CPUs", MachineModel::linux_myrinet(8), n,
+                cache, log);
+  return log.write_env() ? 0 : 1;
 }

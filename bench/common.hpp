@@ -13,6 +13,7 @@
 
 #include "baselines/cannon.hpp"
 #include "baselines/summa.hpp"
+#include "cache/block_cache.hpp"
 #include "core/srumma.hpp"
 #include "dist/dist_matrix.hpp"
 #include "msg/comm.hpp"
@@ -102,6 +103,38 @@ inline MultiplyResult run_cannon(Testbed& tb, index_t n) {
     if (me.id() == 0) out = r;
   });
   return out;
+}
+
+/// `--cache` / `--no-cache` CLI toggle shared by the benches.  Returns the
+/// explicit choice, or nullopt when neither flag is given — RmaConfig then
+/// defers to the SRUMMA_CACHE environment variable (default off).
+inline std::optional<bool> parse_cache_flag(int argc, char** argv) {
+  std::optional<bool> flag;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--cache") {
+      flag = true;
+    } else if (a == "--no-cache") {
+      flag = false;
+    }
+  }
+  return flag;
+}
+
+/// RmaConfig for a bench arm with the cooperative block cache toggled.
+/// The explicit capacity is generous (256 MiB modeled per domain) so
+/// cross-C-tile temporal reuse is not LRU-evicted mid-multiply; the
+/// default capacity is sized for the pipeline lookahead footprint only.
+inline RmaConfig cache_rma_config(std::optional<bool> cache) {
+  RmaConfig cfg;
+  cfg.cache = cache;
+  cfg.cache_capacity = std::uint64_t{256} << 20;
+  return cfg;
+}
+
+/// Whether `rma` actually has the cache engaged (flag or environment).
+inline bool cache_engaged(RmaRuntime& rma) {
+  return rma.block_cache() != nullptr && rma.block_cache()->config().enabled;
 }
 
 /// SRUMMA options matched to a platform, as the paper configures it:

@@ -26,10 +26,12 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 cmake -B "$build" -S "$repo" -DSRUMMA_BUILD_BENCH=ON
 cmake --build "$build" -j "$jobs" \
   --target bench_fig3_pipeline --target bench_fig5_direct_vs_copy \
-  --target bench_fig7_overlap
+  --target bench_fig7_overlap --target bench_cache \
+  --target bench_ablation_blocksize
 
 benches=(fig3:bench_fig3_pipeline fig5:bench_fig5_direct_vs_copy
-         fig7:bench_fig7_overlap)
+         fig7:bench_fig7_overlap cache:bench_cache
+         ablation_blocksize:bench_ablation_blocksize)
 
 for entry in "${benches[@]}"; do
   id="${entry%%:*}"
@@ -42,7 +44,8 @@ for entry in "${benches[@]}"; do
 done
 
 if command -v python3 > /dev/null; then
-  python3 - "$repo"/BENCH_fig{3,5,7}.json << 'EOF'
+  python3 - "$repo"/BENCH_{fig3,fig5,fig7,cache,ablation_blocksize}.json \
+    << 'EOF'
 import json, sys
 
 for path in sys.argv[1:]:
@@ -58,6 +61,27 @@ for path in sys.argv[1:]:
         for v in list(row["params"].values()) + list(row["metrics"].values()):
             assert isinstance(v, (int, float)), f"{path}: non-numeric value"
     print(f"{path}: ok ({len(doc['rows'])} rows)")
+
+# BENCH_cache.json additionally carries the cooperative block cache's
+# acceptance bar (docs/CACHE.md): on both machine models the cache must
+# at least halve modeled inter-node get bytes, strictly reduce virtual
+# time, and keep the byte accounting exact (every saved byte is a byte
+# the off arm transferred; the off arm saves nothing).
+with open(sys.argv[4]) as f:
+    cache = json.load(f)
+rows = {r["label"]: r for r in cache["rows"]}
+for m in ("cluster", "sp"):
+    off, on = rows[f"{m}_off"], rows[f"{m}_on"]
+    off_c, on_c = off["counters"], on["counters"]
+    assert 2 * on_c["bytes_remote"] <= off_c["bytes_remote"], \
+        f"cache/{m}: inter-node byte reduction below 2x"
+    assert on["metrics"]["elapsed_s"] < off["metrics"]["elapsed_s"], \
+        f"cache/{m}: cache did not reduce virtual time"
+    assert on_c["bytes_remote"] + on_c["cache_bytes_saved"] \
+        == off_c["bytes_remote"], f"cache/{m}: byte accounting broken"
+    assert off_c["cache_bytes_saved"] == 0, \
+        f"cache/{m}: off arm reported cache savings"
+print("BENCH_cache.json: cache acceptance bar ok (cluster, sp)")
 EOF
 else
   echo "bench_report: python3 not found, skipping JSON validation"

@@ -15,8 +15,13 @@
 #       (SRUMMA_TRACE) plus a smoke bench-metrics run, validating both
 #       emitted JSON documents (schema, matched async pairs, monotone
 #       per-rank instant/counter timestamps);
+#   1f. the cooperative block cache (docs/CACHE.md): the full suite with
+#       SRUMMA_CACHE=1, then cache x RMA checker, then cache x fault
+#       injection (faults-labeled suites excluded, as in 1d) — caching
+#       must be invisible to every correctness, checker, and fault path;
 #   2.  a TSan build running the concurrency-heavy suites
-#       (test_rma, test_runtime, test_srumma, test_rma_checker);
+#       (test_rma, test_runtime, test_srumma, test_rma_checker,
+#       test_block_cache);
 #   3.  static analysis via scripts/lint.sh.
 #
 # Usage: scripts/check.sh [build-dir] [asan-build-dir] [tsan-build-dir]
@@ -117,6 +122,22 @@ else
 fi
 
 echo
+echo "== tier 1f: cooperative block cache (on x checker x faults) =="
+# The cache is off by default; these passes force it on across the whole
+# suite.  Results must be bit-identical, the shadow-state checker must
+# stay silent (cache reads register at the true remote origin), and the
+# fault plane must interoperate (a failed single-flight fetch is re-armed
+# by a waiter, never silently shared).
+SRUMMA_CACHE=1 ctest --test-dir "$build" --output-on-failure -j "$jobs"
+SRUMMA_CACHE=1 SRUMMA_RMA_CHECK=1 \
+  ctest --test-dir "$build" --output-on-failure -j "$jobs"
+SRUMMA_CACHE=1 \
+SRUMMA_FAULT_FAIL_RATE=0.002 \
+SRUMMA_FAULT_DELAY_RATE=0.002 \
+SRUMMA_FAULT_MAX_ATTEMPTS=20 \
+  ctest --test-dir "$build" --output-on-failure -j "$jobs" -LE faults
+
+echo
 echo "== tier 2: concurrency suites under TSan ($tsan_build) =="
 cmake -B "$tsan_build" -S "$repo" \
   -DSRUMMA_SANITIZE=thread \
@@ -124,11 +145,11 @@ cmake -B "$tsan_build" -S "$repo" \
   -DSRUMMA_BUILD_EXAMPLES=OFF
 cmake --build "$tsan_build" -j "$jobs" \
   --target test_rma --target test_runtime --target test_srumma \
-  --target test_rma_checker
+  --target test_rma_checker --target test_block_cache
 # halt_on_error: a data race must fail the suite, not just print.
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
   ctest --test-dir "$tsan_build" --output-on-failure \
-  -R '^(test_rma|test_runtime|test_srumma|test_rma_checker)$'
+  -R '^(test_rma|test_runtime|test_srumma|test_rma_checker|test_block_cache)$'
 
 echo
 echo "== tier 3: static analysis (scripts/lint.sh) =="

@@ -364,6 +364,32 @@ void RmaChecker::on_direct_access(int rank, int owner, std::uint64_t seq,
   ops_.push_back(op);
 }
 
+void RmaChecker::on_shared_read(int rank, int owner, std::uint64_t seq,
+                                Footprint shape, std::source_location site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OpRecord op;
+  op.kind = OpKind::Get;
+  op.rank = rank;
+  op.handle = 0;  // no wait lifecycle: the share completes synchronously
+  op.completed = true;
+  op.epoch = epoch_[static_cast<std::size_t>(rank)];
+  op.seq = seq;
+  op.owner = owner;
+  op.remote = shape;
+  op.site = site;
+  if (const Segment* seg = find_segment_by_id(seq, owner)) {
+    if (seg->len != 0 && op.remote.span_end() > seg->len) {
+      std::ostringstream os;
+      os << "cache shared-read footprint ends at byte " << op.remote.span_end()
+         << " but the owner segment is only " << seg->len << " bytes";
+      emit(Diag::OutOfBounds, rank, seq, owner, op.remote, op.epoch, 0, site,
+           os.str());
+    }
+  }
+  check_region_conflicts(op);
+  ops_.push_back(op);
+}
+
 void RmaChecker::on_compute_access(int rank, const double* ptr,
                                    Footprint shape, bool write,
                                    std::source_location site) {

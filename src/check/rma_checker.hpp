@@ -156,6 +156,14 @@ class RmaChecker {
   /// checked against the rank's pending get destinations.
   void on_compute_access(int rank, const double* ptr, Footprint shape,
                          bool write, std::source_location site);
+  /// A read of (seq, owner) consumed through the cooperative block cache:
+  /// the rank moved no bytes over the NIC itself, but it semantically read
+  /// the owner's segment, so register a completed get at the TRUE origin
+  /// (out-of-bounds + epoch-conflict checked).  Unlike on_direct_access the
+  /// owner is legitimately outside the caller's domain — the domain mate
+  /// that fetched it is the one that touched the wire.
+  void on_shared_read(int rank, int owner, std::uint64_t seq, Footprint shape,
+                      std::source_location site);
 
   // -- results --------------------------------------------------------------
   [[nodiscard]] std::vector<CheckReport> reports();

@@ -26,9 +26,19 @@ struct OrderingPolicy {
   /// Group tasks so a fetched A block is used by consecutive products
   /// before its buffer is reused.
   bool a_reuse = true;
+  /// Regroup the remote run so every set of tasks sharing one A patch is
+  /// contiguous (repairing the split the diagonal-shift rotation can cut
+  /// through one A-reuse run).  Keeps same-patch fetches adjacent, which
+  /// also maximizes in-flight joins in the cooperative block cache.
+  /// Aggregate-initialized policies ({a, b, c}) leave it off.
+  bool a_group = false;
 
-  [[nodiscard]] static OrderingPolicy naive() { return {false, false, false}; }
-  [[nodiscard]] static OrderingPolicy full() { return {true, true, true}; }
+  [[nodiscard]] static OrderingPolicy naive() {
+    return {false, false, false, false};
+  }
+  [[nodiscard]] static OrderingPolicy full() {
+    return {true, true, true, true};
+  }
 };
 
 /// Shared-memory access flavor (paper Section 3.2).
@@ -55,7 +65,10 @@ struct SrummaOptions {
   /// classic double buffer).  Deeper pipelines trade buffer memory for
   /// resilience to bursty contention; an extension beyond the paper,
   /// ablated in bench_ablation_blocksize.  Ignored when !nonblocking.
-  int lookahead = 1;
+  /// 0 = auto: the SRUMMA_LOOKAHEAD environment variable if set, otherwise
+  /// the latency-bandwidth-product heuristic
+  /// clamp(ceil(net_latency * net_bw / patch_bytes), 1, 8).
+  int lookahead = 0;
 
   /// Maximum K-segment length.  0 = auto-tune: pick a chunk that gives the
   /// double-buffered pipeline several tasks per owner segment (the paper's

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
+#include <cstdlib>
 
 #include "blas/gemm.hpp"
+#include "cache/block_cache.hpp"
 #include "trace/tracer.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
@@ -27,6 +30,9 @@ struct OperandState {
   // including later A-reuse consumers — the flag stays set until the state
   // is re-acquired, and matches() refuses to pair a new task with it.
   bool failed = false;
+  // Cooperative-cache participation of the current acquire (inactive when
+  // the cache is off, the patch is in-domain, or the path is direct).
+  cache::Ref cache_ref;
   double rate_factor = 1.0;  // dgemm rate multiplier for direct access
   // Modeled buffer capacity this state has grown to via copy-path
   // acquires (tracked even in phantom mode, where nothing is allocated).
@@ -46,6 +52,9 @@ struct OperandState {
 void acquire(Rank& me, DistMatrix& mat, index_t i0, index_t j0, index_t mi,
              index_t nj, ShmFlavor flavor, OperandState& st) {
   const MachineModel& mm = me.machine();
+  SRUMMA_ASSERT(!st.cache_ref.active(),
+                "srumma: re-acquiring an operand whose cache ref was never "
+                "finished");
   st.handle = PatchHandle{};
   st.view = ConstMatrixView{};
   st.i0 = i0;
@@ -100,7 +109,36 @@ void acquire(Rank& me, DistMatrix& mat, index_t i0, index_t j0, index_t mi,
     dst = st.buf.block(0, 0, mi, nj);
     st.view = dst;
   }
-  st.handle = mat.fetch_nb(me, i0, j0, mi, nj, dst);
+  const auto do_fetch = [&] { st.handle = mat.fetch_nb(me, i0, j0, mi, nj, dst); };
+  cache::BlockCacheSet* cs = mat.rma().block_cache();
+  if (cs != nullptr && !mat.rect_in_domain(me, i0, j0, mi, nj)) {
+    // Cooperative single-flight acquisition.  As fetcher, the callback
+    // issues this rank's own get and reports whether the issue was clean —
+    // every piece delivered, uncorrupted, and inside the per-op deadline —
+    // in which case the bytes are publishable for domain mates right away.
+    // As sharer, no get is issued at all (st.handle stays empty, so the
+    // compute loop's wait/verify steps skip naturally); the buffer is
+    // filled from the published entry by finish-cache before dgemm.
+    const cache::PatchKey key{mat.region_seq(), i0, j0, mi, nj};
+    st.cache_ref = cs->acquire(
+        me, key, mat.remote_piece_bytes(me, i0, j0, mi, nj),
+        [&]() -> cache::FetchOutcome {
+          do_fetch();
+          const double deadline = mat.rma().retry_policy().op_timeout;
+          bool clean = true;
+          for (const RmaHandle& p : st.handle.pieces) {
+            if (p.failed || p.corrupted ||
+                (deadline > 0.0 && p.completion - p.issue_vt > deadline)) {
+              clean = false;
+            }
+          }
+          return {st.handle.completion(), clean};
+        },
+        st.view);
+    if (st.cache_ref.role == cache::Role::Bypass) do_fetch();
+  } else {
+    do_fetch();
+  }
   st.cap_bytes = std::max(
       st.cap_bytes,
       static_cast<std::uint64_t>(mi) * static_cast<std::uint64_t>(nj) *
@@ -161,6 +199,35 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
     tuned.k_chunk = auto_k_chunk(a, b, opt.ta, opt.tb);
   }
 
+  if (tuned.lookahead == 0) {
+    // Auto prefetch depth: SRUMMA_LOOKAHEAD wins; otherwise keep enough
+    // patches in flight to cover the network's latency-bandwidth product
+    // (one get's payload per slot), so the pipeline never drains while an
+    // issue is still paying t_s.  A patch is roughly (local C extent,
+    // capped by c_chunk) x k_chunk doubles.
+    if (const char* env = std::getenv("SRUMMA_LOOKAHEAD")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      SRUMMA_REQUIRE(end != env && *end == '\0' && v >= 1 && v <= 64,
+                     "SRUMMA_LOOKAHEAD must be an integer in [1, 64]");
+      tuned.lookahead = static_cast<int>(v);
+    } else {
+      const MachineModel& mm = me.machine();
+      index_t est_rows =
+          std::max({c.block_rows(me.id()), c.block_cols(me.id()),
+                    index_t{1}});
+      if (tuned.c_chunk > 0) est_rows = std::min(est_rows, tuned.c_chunk);
+      const double patch_bytes =
+          static_cast<double>(est_rows) *
+          static_cast<double>(std::max<index_t>(tuned.k_chunk, 1)) *
+          static_cast<double>(sizeof(double));
+      tuned.lookahead = std::clamp(
+          static_cast<int>(
+              std::ceil(mm.net_latency * mm.net_bw / patch_bytes)),
+          1, 8);
+    }
+  }
+
   if (tuned.max_buffer_bytes > 0) {
     // Shrink the tiling until (lookahead+2) A patches + (lookahead+1) B
     // patches of the worst-case extents fit the budget.  Patch extents are
@@ -203,13 +270,59 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
   // tasks (Section 3.1's locality consideration), so A states are evicted
   // by last-user age instead of rotation: a pool of lookahead+2 states
   // always contains one whose readers have all been computed.
-  SRUMMA_REQUIRE(opt.lookahead >= 1 && opt.lookahead <= 64,
+  SRUMMA_REQUIRE(tuned.lookahead >= 1 && tuned.lookahead <= 64,
                  "srumma: lookahead must be in [1, 64]");
-  const int lookahead = opt.nonblocking ? opt.lookahead : 0;
+  const int lookahead = opt.nonblocking ? tuned.lookahead : 0;
   const std::size_t n_slots = static_cast<std::size_t>(lookahead) + 1;
   std::vector<OperandState> a_state(n_slots + 1);
   std::vector<OperandState> b_state(n_slots);
   std::vector<std::size_t> slot_a(n_slots, 0);
+
+  // Open the cooperative block cache for this multiply (the entry barrier
+  // above is the inter-multiply separator begin_epoch requires).  The
+  // default capacity covers the whole domain's pipeline footprint — every
+  // mate's worst-case operand slots — so single-flight sharing is never
+  // starved by its own working set.  A and B may in principle live on
+  // different runtimes; open each distinct cache once.
+  cache::BlockCacheSet* cache_sets[2] = {a.rma().block_cache(),
+                                         b.rma().block_cache()};
+  if (cache_sets[1] == cache_sets[0]) cache_sets[1] = nullptr;
+  const std::uint64_t cache_default_cap =
+      static_cast<std::uint64_t>(me.machine().domain_size()) *
+      (2 * static_cast<std::uint64_t>(lookahead) + 3) *
+      std::max(static_cast<std::uint64_t>(plan.max_a_m) *
+                   static_cast<std::uint64_t>(plan.max_a_n),
+               static_cast<std::uint64_t>(plan.max_b_m) *
+                   static_cast<std::uint64_t>(plan.max_b_n)) *
+      sizeof(double);
+  for (cache::BlockCacheSet* cset : cache_sets)
+    if (cset != nullptr) cset->begin_epoch(me, cache_default_cap);
+
+  // Cooperative-cache epilogue for one operand state, run after the
+  // pipeline waited on (and possibly verified) its own fetch and before
+  // the task is allowed to requeue (so a failed fetcher always releases
+  // its pin, leaving a dirty entry for the next requester to re-arm).
+  // Sharers pay the intra-domain copy here and register the read with the
+  // checker at the true origin; fetchers publish when the final bytes are
+  // known good — verified against the owner, or delivered with no piece
+  // corrupted — and a late (post-recovery) publish otherwise stays dirty.
+  auto finish_cache = [&me](DistMatrix& mat, OperandState& st, bool fetched,
+                            bool verify) {
+    if (!st.cache_ref.active()) return;
+    cache::BlockCacheSet* cset = mat.rma().block_cache();
+    if (st.cache_ref.role == cache::Role::Shared) {
+      MatrixView dst;
+      if (!mat.phantom()) dst = st.buf.block(0, 0, st.m, st.n);
+      cset->consume_shared(me, st.cache_ref, dst);
+      mat.declare_shared_read(me, st.i0, st.j0, st.m, st.n);
+    } else {
+      bool corrupted = false;
+      for (const RmaHandle& p : st.handle.pieces) corrupted |= p.corrupted;
+      const bool verified = verify && fetched && !st.failed && !mat.phantom();
+      cset->finish_fetch(me, st.cache_ref,
+                         !st.failed && (verified || !corrupted), st.view);
+    }
+  };
 
   // Mutable working copy: a task whose fetch exhausts its RMA retries is
   // re-enqueued at the tail (graceful degradation instead of aborting the
@@ -287,6 +400,8 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
       if (a_fetched) verify_operand(me, a, as);
       if (b_fetched) verify_operand(me, b, bs);
     }
+    finish_cache(a, as, a_fetched, opt.verify_checksums);
+    finish_cache(b, bs, b_fetched, opt.verify_checksums);
     if (as.failed || bs.failed) {
       // Exhausted retries on an operand: push the task to the tail and move
       // on — the pipeline refetches it with fresh handles later (each retry
@@ -331,6 +446,12 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
     for (const OperandState& st : b_state) bytes += st.cap_bytes;
     me.trace().buffer_bytes_peak = bytes;  // per-run value
   }
+
+  // Close the cache epoch: the last rank out invalidates the domain's
+  // entries (A and B are only guaranteed read-only inside this multiply).
+  // collect_result's barriers separate this from the next begin_epoch.
+  for (cache::BlockCacheSet* cset : cache_sets)
+    if (cset != nullptr) cset->end_epoch(me);
 
   const index_t m = c.rows();
   const index_t n = c.cols();

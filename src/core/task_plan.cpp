@@ -1,6 +1,8 @@
 #include "core/task_plan.hpp"
 
 #include <algorithm>
+#include <array>
+#include <map>
 
 #include "util/error.hpp"
 
@@ -163,6 +165,26 @@ void order_tasks(std::vector<Task>& tasks, const OrderingPolicy& policy,
     if (pivot != tasks.end() && pivot != remote_begin) {
       std::rotate(remote_begin, pivot, tasks.end());
     }
+  }
+  if (policy.a_group && remote_begin != tasks.end()) {
+    // Make every set of remote tasks sharing one A patch contiguous, keyed
+    // by first occurrence in the (possibly rotated) run.  The rotation can
+    // cut exactly one A-reuse run in two, with the severed head at the
+    // tail; the stable regroup splices it back without disturbing the
+    // inter-patch order the rotation established.  Adjacent same-patch
+    // fetches also arrive at the cooperative block cache back to back,
+    // turning the duplicate gets of domain mates into in-flight joins.
+    std::map<std::array<index_t, 4>, std::size_t> first_seen;
+    for (auto it = remote_begin; it != tasks.end(); ++it) {
+      first_seen.emplace(std::array{it->a_i0, it->a_j0, it->a_m, it->a_n},
+                         first_seen.size());
+    }
+    std::stable_sort(remote_begin, tasks.end(),
+                     [&](const Task& x, const Task& y) {
+                       return first_seen.at(
+                                  {x.a_i0, x.a_j0, x.a_m, x.a_n}) <
+                              first_seen.at({y.a_i0, y.a_j0, y.a_m, y.a_n});
+                     });
   }
 }
 

@@ -82,7 +82,9 @@ struct TaskPlan {
 
 /// Reorder in place per the policy.  `diag_col` is the A-grid column this
 /// rank's diagonal-shift rotation should start fetching from (pi mod
-/// A.grid.q); pure so it can be property-tested.
+/// A.grid.q); pure so it can be property-tested.  a_group additionally
+/// buckets the remote run by A-patch identity in first-occurrence order,
+/// repairing the one run the rotation may have split.
 void order_tasks(std::vector<Task>& tasks, const OrderingPolicy& policy,
                  int diag_col);
 

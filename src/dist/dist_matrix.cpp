@@ -99,6 +99,38 @@ void DistMatrix::declare_direct_read(Rank& me, int owner, index_t i0,
                               site);
 }
 
+std::uint64_t DistMatrix::remote_piece_bytes(Rank& me, index_t i0, index_t j0,
+                                             index_t mi, index_t nj) {
+  check_rect(i0, j0, mi, nj);
+  if (mi == 0 || nj == 0) return 0;
+  std::uint64_t bytes = 0;
+  for_each_piece(i0, j0, mi, nj, [&](const Piece& p) {
+    if (me.machine().same_domain(me.id(), p.owner)) return;
+    bytes += static_cast<std::uint64_t>(p.rows) *
+             static_cast<std::uint64_t>(p.cols) * sizeof(double);
+  });
+  return bytes;
+}
+
+void DistMatrix::declare_shared_read(Rank& me, index_t i0, index_t j0,
+                                     index_t mi, index_t nj,
+                                     std::source_location site) {
+  check::RmaChecker* ck = rma_->checker();
+  if (ck == nullptr || mi <= 0 || nj <= 0) return;
+  for_each_piece(i0, j0, mi, nj, [&](const Piece& p) {
+    const auto [pi, pj] = grid_.coords_of(p.owner);
+    const index_t lm = std::max<index_t>(rows_.count(pi), 1);
+    const index_t li = p.gi - rows_.start(pi);
+    const index_t lj = p.gj - cols_.start(pj);
+    check::Footprint f;
+    f.rows = static_cast<std::uint64_t>(p.rows) * sizeof(double);
+    f.cols = static_cast<std::uint64_t>(p.cols);
+    f.ld = static_cast<std::uint64_t>(lm) * sizeof(double);
+    f.lo = static_cast<std::uint64_t>(li + lj * lm) * sizeof(double);
+    ck->on_shared_read(me.id(), p.owner, region_.seq, f, site);
+  });
+}
+
 bool DistMatrix::rect_in_domain(Rank& me, index_t i0, index_t j0, index_t mi,
                                 index_t nj) const {
   check_rect(i0, j0, mi, nj);

@@ -99,6 +99,28 @@ class DistMatrix {
   [[nodiscard]] bool rect_in_domain(Rank& me, index_t i0, index_t j0,
                                     index_t mi, index_t nj) const;
 
+  /// The backing SymmetricRegion's allocation seq: lockstep-identical
+  /// across ranks and never reused, so it is a process-wide unique matrix
+  /// identity — the block cache keys patches with it (docs/CACHE.md).
+  [[nodiscard]] std::uint64_t region_seq() const noexcept {
+    return region_.seq;
+  }
+
+  /// Modeled bytes of the rectangle owned OUTSIDE `me`'s shared-memory
+  /// domain — the inter-node volume a generalized get of it would move
+  /// (what a cooperative-cache share saves).
+  [[nodiscard]] std::uint64_t remote_piece_bytes(Rank& me, index_t i0,
+                                                 index_t j0, index_t mi,
+                                                 index_t nj);
+
+  /// Declare to the RMA checker (when enabled) that `me` consumed the
+  /// rectangle through the block cache: a completed read is registered at
+  /// the TRUE origin (each owner's segment), so get-vs-put conflicts are
+  /// still detected even though this rank moved no bytes over the NIC.
+  void declare_shared_read(
+      Rank& me, index_t i0, index_t j0, index_t mi, index_t nj,
+      std::source_location site = std::source_location::current());
+
   /// The owner rank when the rectangle lies in exactly one block whose
   /// owner shares my memory domain — i.e. direct load/store access is
   /// possible; nullopt otherwise.  Works for phantom matrices too (used to

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <string>
 
+#include "cache/block_cache.hpp"
 #include "runtime/abortable_wait.hpp"
 #include "trace/tracer.hpp"
 #include "util/error.hpp"
@@ -39,6 +40,12 @@ RmaRuntime::RmaRuntime(Team& team, RmaConfig cfg)
         std::make_shared<fault::FaultPlane>(team_.machine(), *cfg.faults));
   if (cfg.check.value_or(check::RmaChecker::env_enabled()))
     checker_ = std::make_unique<check::RmaChecker>(team, cfg.check_throw);
+  cache::CacheConfig cache_cfg;
+  cache_cfg.capacity_bytes = cfg.cache_capacity;
+  cache_cfg = cache::CacheConfig::from_env(cache_cfg);
+  if (cfg.cache) cache_cfg.enabled = *cfg.cache;
+  if (cache_cfg.enabled)
+    cache_ = std::make_unique<cache::BlockCacheSet>(team, cache_cfg);
   // Let Team::abort wake ranks parked in a collective allocation promptly.
   team_.add_abort_cv(&alloc_cv_);
 }
@@ -135,18 +142,20 @@ RmaHandle RmaRuntime::transfer(Rank& me, int owner, std::size_t bytes,
   const MachineModel& mm = team_.machine();
   SRUMMA_REQUIRE(owner >= 0 && owner < team_.size(),
                  "rma transfer: owner rank out of range");
-  me.clock().advance(mm.rma_issue_overhead);
-  const double t0 = me.clock().now();
-
   RmaHandle h;
   h.pending = true;
   h.issued = true;
   h.attempts = 1;
-  h.issue_vt = t0;
   if (bytes == 0) {
-    h.completion = t0;
+    // A zero-byte op is a no-op on every transport: complete immediately
+    // without charging the issue overhead or drawing from the fault plane's
+    // decision stream (which would shift deterministic fault schedules).
+    h.issue_vt = h.completion = me.clock().now();
     return h;
   }
+  me.clock().advance(mm.rma_issue_overhead);
+  const double t0 = me.clock().now();
+  h.issue_vt = t0;
 
   // Fault injection: draw this op's fate from the team's plane (nullptr in
   // the common case — one branch, no arithmetic change when disabled).

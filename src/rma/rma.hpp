@@ -44,6 +44,10 @@
 
 namespace srumma {
 
+namespace cache {
+class BlockCacheSet;
+}  // namespace cache
+
 /// Completion status of a one-sided operation (valid once the handle is no
 /// longer pending, or when a timed wait gives up).
 enum class RmaStatus {
@@ -93,6 +97,12 @@ struct RmaConfig {
   /// Install a fault-injection plane on the team (overriding any plane the
   /// SRUMMA_FAULT_* environment installed; see Team::set_fault_plane).
   std::optional<fault::FaultConfig> faults;
+  /// Enable the domain-level cooperative block cache (src/cache), overriding
+  /// the SRUMMA_CACHE environment default (off).
+  std::optional<bool> cache;
+  /// Per-domain cache capacity in bytes; 0 = size from the pipeline's
+  /// lookahead footprint at each multiply.  SRUMMA_CACHE_CAP overrides.
+  std::uint64_t cache_capacity = 0;
 };
 
 /// Everything needed to re-issue a nonblocking op after a transient
@@ -247,6 +257,13 @@ class RmaRuntime {
              index_t rows, index_t cols, double* dst, index_t ld_dst,
              std::source_location site = std::source_location::current());
 
+  /// The domain-level cooperative block cache, or nullptr when disabled
+  /// (the common case — callers null-test it, exactly like the checker and
+  /// the fault plane, so a disabled cache perturbs nothing).
+  [[nodiscard]] cache::BlockCacheSet* block_cache() noexcept {
+    return cache_.get();
+  }
+
   // -- checker access & discipline declarations -----------------------------
   /// The shadow-state checker, or nullptr when disabled.  Every declare_*
   /// below is a single null test when checking is off.
@@ -318,6 +335,7 @@ class RmaRuntime {
   bool zero_copy_;
   RetryPolicy retry_;
   std::unique_ptr<check::RmaChecker> checker_;
+  std::unique_ptr<cache::BlockCacheSet> cache_;
   std::mutex acc_mu_;  // serializes concurrent accumulate updates
 
   std::mutex alloc_mu_;

@@ -57,6 +57,7 @@ void common_fields(std::ostream& os, const char* name, const char* cat,
     case Phase::Acc:
     case Phase::Send:
     case Phase::Recv:
+    case Phase::CacheRead:
       return true;
     default:
       return false;

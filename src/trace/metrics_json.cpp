@@ -68,6 +68,14 @@ std::string counters_json(const TraceCounters& t) {
      << ",\"shm_fallbacks\":" << t.shm_fallbacks
      << ",\"checksum_redos\":" << t.checksum_redos
      << ",\"time_recovery\":" << num(t.time_recovery)
+     << ",\"cache_hits\":" << t.cache_hits
+     << ",\"cache_joins\":" << t.cache_joins
+     << ",\"cache_misses\":" << t.cache_misses
+     << ",\"cache_bypasses\":" << t.cache_bypasses
+     << ",\"cache_evictions\":" << t.cache_evictions
+     << ",\"cache_rearms\":" << t.cache_rearms
+     << ",\"cache_refetches\":" << t.cache_refetches
+     << ",\"cache_bytes_saved\":" << t.cache_bytes_saved
      << "}";
   return os.str();
 }

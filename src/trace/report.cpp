@@ -8,7 +8,7 @@ namespace srumma {
 // trace_delta below, operator+= (vtime/trace_counters.hpp) and
 // counters_json (trace/metrics_json.cpp), with its SUM/MAX aggregation
 // documented on the field.
-static_assert(sizeof(TraceCounters) == 25 * sizeof(double),
+static_assert(sizeof(TraceCounters) == 33 * sizeof(double),
               "TraceCounters changed — update trace_delta, operator+=, "
               "counters_json and the per-field aggregation comments");
 
@@ -40,6 +40,14 @@ TraceCounters trace_delta(const TraceCounters& end, const TraceCounters& start) 
   d.shm_fallbacks = end.shm_fallbacks - start.shm_fallbacks;
   d.checksum_redos = end.checksum_redos - start.checksum_redos;
   d.time_recovery = end.time_recovery - start.time_recovery;
+  d.cache_hits = end.cache_hits - start.cache_hits;
+  d.cache_joins = end.cache_joins - start.cache_joins;
+  d.cache_misses = end.cache_misses - start.cache_misses;
+  d.cache_bypasses = end.cache_bypasses - start.cache_bypasses;
+  d.cache_evictions = end.cache_evictions - start.cache_evictions;
+  d.cache_rearms = end.cache_rearms - start.cache_rearms;
+  d.cache_refetches = end.cache_refetches - start.cache_refetches;
+  d.cache_bytes_saved = end.cache_bytes_saved - start.cache_bytes_saved;
   return d;
 }
 
@@ -85,6 +93,13 @@ std::string describe(const MultiplyResult& r) {
        << " task requeues, " << t.shm_fallbacks << " shm fallbacks, "
        << t.checksum_redos << " checksum redos, "
        << t.time_recovery * 1e3 << " ms in recovery";
+  }
+  if (t.cache_hits + t.cache_joins + t.cache_misses + t.cache_rearms > 0) {
+    os << ", cache: " << t.cache_hits << " hits / " << t.cache_joins
+       << " joins / " << t.cache_misses << " misses ("
+       << t.cache_evictions << " evictions, " << t.cache_rearms
+       << " rearms, " << t.cache_refetches << " refetches), saved "
+       << static_cast<double>(t.cache_bytes_saved) / 1e6 << " MB remote";
   }
   return os.str();
 }

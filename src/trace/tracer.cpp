@@ -20,6 +20,7 @@ const char* phase_name(Phase p) {
     case Phase::Acc: return "nbacc";
     case Phase::Send: return "send";
     case Phase::Recv: return "recv";
+    case Phase::CacheRead: return "cache read";
     case Phase::TaskIssue: return "task issue";
     case Phase::Requeue: return "task requeue";
     case Phase::ShmFallback: return "shm fallback";
@@ -27,6 +28,11 @@ const char* phase_name(Phase p) {
     case Phase::OpTimeout: return "op timeout";
     case Phase::Retry: return "retry";
     case Phase::Epoch: return "epoch";
+    case Phase::CacheHit: return "cache hit";
+    case Phase::CacheJoin: return "cache join";
+    case Phase::CacheEvict: return "cache evict";
+    case Phase::CacheRearm: return "cache rearm";
+    case Phase::CacheRefetch: return "cache refetch";
   }
   return "?";
 }
@@ -36,6 +42,7 @@ const char* counter_name(CounterId c) {
     case CounterId::InflightBytes: return "inflight bytes";
     case CounterId::InflightOps: return "inflight ops";
     case CounterId::RecoverySeconds: return "recovery seconds";
+    case CounterId::CacheBytesSaved: return "cache bytes saved";
   }
   return "?";
 }

@@ -59,6 +59,7 @@ enum class Phase : std::uint8_t {
   Acc,   ///< one-sided accumulate
   Send,  ///< two-sided send, issue -> delivery
   Recv,  ///< two-sided receive, post -> delivery
+  CacheRead,  ///< intra-domain copy out of the cooperative block cache
   // -- instants --------------------------------------------------------------
   TaskIssue,    ///< pipeline issued a task's fetches (arg = task index)
   Requeue,      ///< task re-enqueued at the tail after operand failure
@@ -67,6 +68,12 @@ enum class Phase : std::uint8_t {
   OpTimeout,    ///< attempt abandoned (or counted) by the per-op deadline
   Retry,        ///< re-issue performed by a wait (arg = prior attempts)
   Epoch,        ///< checker access epoch advanced (barrier entry)
+  CacheHit,     ///< block-cache entry already ready at request time
+  CacheJoin,    ///< joined a cache fetch still in flight (virtual time)
+  CacheEvict,   ///< LRU eviction under capacity pressure
+  CacheRearm,   ///< dirty (failed-fetch) entry re-armed by a waiter
+  CacheRefetch,  ///< ready entry published later (virtual time) than the
+                 ///< request — causality forbids sharing; own get issued
 };
 
 [[nodiscard]] const char* phase_name(Phase p);
@@ -76,8 +83,9 @@ enum class CounterId : std::uint8_t {
   InflightBytes,    ///< bytes of issued, not-yet-consumed one-sided ops
   InflightOps,      ///< queue depth of issued, not-yet-consumed ops
   RecoverySeconds,  ///< running TraceCounters::time_recovery
+  CacheBytesSaved,  ///< running TraceCounters::cache_bytes_saved
 };
-inline constexpr int kNumCounters = 3;
+inline constexpr int kNumCounters = 4;
 
 [[nodiscard]] const char* counter_name(CounterId c);
 
@@ -189,7 +197,7 @@ class Tracer {
     std::vector<TraceEvent> ring;  // grows to cap_, then wraps at head
     std::size_t head = 0;          // next overwrite position once full
     std::uint64_t recorded = 0;
-    double counters[kNumCounters] = {0.0, 0.0, 0.0};
+    double counters[kNumCounters] = {};
     TrackInfo info;
   };
 

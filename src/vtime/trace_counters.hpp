@@ -60,6 +60,21 @@ struct TraceCounters {
   /// (SUM); equals the traced RecoveryWait + Backoff + Redo span totals.
   double time_recovery = 0.0;
 
+  // -- cooperative block cache (SUM) (src/cache, docs/CACHE.md) -------------
+  std::uint64_t cache_hits = 0;       ///< entry ready at request time (SUM)
+  std::uint64_t cache_joins = 0;      ///< joined an in-flight fetch (SUM)
+  std::uint64_t cache_misses = 0;     ///< became the single-flight fetcher (SUM)
+  std::uint64_t cache_bypasses = 0;   ///< capacity/epoch made caching impossible (SUM)
+  std::uint64_t cache_evictions = 0;  ///< LRU evictions under pressure (SUM)
+  std::uint64_t cache_rearms = 0;     ///< dirty entries re-armed by waiters (SUM)
+  /// Ready entries whose publishing get was issued AFTER the requester's
+  /// virtual now — on a real machine the requester would have fetched first,
+  /// so sharing would time-travel; it fetches itself instead (SUM).
+  std::uint64_t cache_refetches = 0;
+  /// Modeled inter-node bytes NOT transferred because a domain mate's fetch
+  /// was shared (SUM) — the cache's headline gauge.
+  std::uint64_t cache_bytes_saved = 0;
+
   /// Fraction of issued communication hidden behind computation:
   /// 1 - time_wait/time_comm, clamped to [0, 1].  The paper reports >90%
   /// overlap for SRUMMA on the Linux cluster.
@@ -97,6 +112,14 @@ struct TraceCounters {
     shm_fallbacks += o.shm_fallbacks;
     checksum_redos += o.checksum_redos;
     time_recovery += o.time_recovery;
+    cache_hits += o.cache_hits;
+    cache_joins += o.cache_joins;
+    cache_misses += o.cache_misses;
+    cache_bypasses += o.cache_bypasses;
+    cache_evictions += o.cache_evictions;
+    cache_rearms += o.cache_rearms;
+    cache_refetches += o.cache_refetches;
+    cache_bytes_saved += o.cache_bytes_saved;
     return *this;
   }
 };

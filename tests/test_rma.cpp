@@ -204,7 +204,9 @@ TEST(RmaTiming, ZeroCopyOverrideDisablesSteal) {
   MachineModel m = MachineModel::testing(2, 1);
   m.zero_copy = false;
   Team team(m);
-  RmaRuntime rma(team, RmaConfig{.zero_copy = true});
+  RmaConfig zc_cfg;
+  zc_cfg.zero_copy = true;
+  RmaRuntime rma(team, zc_cfg);
   EXPECT_TRUE(rma.zero_copy());
   team.run([&](Rank& me) {
     SymmetricRegion r = rma.malloc_symmetric(me, 4096);
