@@ -27,11 +27,12 @@ cmake -B "$build" -S "$repo" -DSRUMMA_BUILD_BENCH=ON
 cmake --build "$build" -j "$jobs" \
   --target bench_fig3_pipeline --target bench_fig5_direct_vs_copy \
   --target bench_fig7_overlap --target bench_cache \
-  --target bench_ablation_blocksize
+  --target bench_ablation_blocksize --target bench_steal
 
 benches=(fig3:bench_fig3_pipeline fig5:bench_fig5_direct_vs_copy
          fig7:bench_fig7_overlap cache:bench_cache
-         ablation_blocksize:bench_ablation_blocksize)
+         ablation_blocksize:bench_ablation_blocksize
+         steal:bench_steal)
 
 for entry in "${benches[@]}"; do
   id="${entry%%:*}"
@@ -44,7 +45,8 @@ for entry in "${benches[@]}"; do
 done
 
 if command -v python3 > /dev/null; then
-  python3 - "$repo"/BENCH_{fig3,fig5,fig7,cache,ablation_blocksize}.json \
+  python3 - \
+    "$repo"/BENCH_{fig3,fig5,fig7,cache,ablation_blocksize,steal}.json \
     << 'EOF'
 import json, sys
 
@@ -82,6 +84,32 @@ for m in ("cluster", "sp"):
     assert off_c["cache_bytes_saved"] == 0, \
         f"cache/{m}: off arm reported cache savings"
 print("BENCH_cache.json: cache acceptance bar ok (cluster, sp)")
+
+# BENCH_steal.json carries the task engine's acceptance bar
+# (docs/ENGINE.md): with one 8x straggler node, the engine arm must be
+# >= 1.3x faster in virtual time than the static pipeline, must actually
+# steal tasks, and the steal ledger must reconcile exactly —
+# engine_tasks + tasks_stolen == copy_tasks + direct_tasks == gemm_calls.
+with open(sys.argv[6]) as f:
+    steal = json.load(f)
+rows = {r["label"]: r for r in steal["rows"]}
+pipe, eng = rows["pipeline"], rows["engine"]
+ratio = pipe["metrics"]["elapsed_s"] / eng["metrics"]["elapsed_s"]
+assert ratio >= 1.3, f"steal: speedup {ratio:.3f}x below the 1.3x bar"
+ec = eng["counters"]
+assert ec["tasks_stolen"] > 0, "steal: engine arm stole nothing"
+assert ec["engine_tasks"] + ec["tasks_stolen"] \
+    == ec["copy_tasks"] + ec["direct_tasks"] == ec["gemm_calls"], \
+    "steal: engine ledger does not reconcile"
+assert ec["task_requeues"] == 0, \
+    "steal: engine must re-arm fetches, never requeue tasks"
+pc = pipe["counters"]
+assert pc["engine_tasks"] == pc["tasks_stolen"] == 0, \
+    "steal: pipeline arm reported engine activity"
+assert pc["copy_tasks"] + pc["direct_tasks"] == pc["gemm_calls"], \
+    "steal: pipeline ledger does not reconcile"
+print(f"BENCH_steal.json: engine acceptance bar ok "
+      f"({ratio:.2f}x, {int(ec['tasks_stolen'])} steals)")
 EOF
 else
   echo "bench_report: python3 not found, skipping JSON validation"

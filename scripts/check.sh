@@ -19,9 +19,16 @@
 #       SRUMMA_CACHE=1, then cache x RMA checker, then cache x fault
 #       injection (faults-labeled suites excluded, as in 1d) — caching
 #       must be invisible to every correctness, checker, and fault path;
+#   1g. the dependency-driven task engine (docs/ENGINE.md): the
+#       SRUMMA-executing suites with SRUMMA_ENGINE=1, so every multiply
+#       runs out-of-order with intra-domain work stealing — C must stay
+#       bitwise identical and the steal ledger must reconcile
+#       (test_block_cache is excluded: its single-flight sharing test
+#       pins the pipeline's fetch schedule, which the engine's
+#       operand-slot dedup legitimately changes);
 #   2.  a TSan build running the concurrency-heavy suites
 #       (test_rma, test_runtime, test_srumma, test_rma_checker,
-#       test_block_cache);
+#       test_block_cache, test_engine);
 #   3.  static analysis via scripts/lint.sh.
 #
 # Usage: scripts/check.sh [build-dir] [asan-build-dir] [tsan-build-dir]
@@ -138,6 +145,18 @@ SRUMMA_FAULT_MAX_ATTEMPTS=20 \
   ctest --test-dir "$build" --output-on-failure -j "$jobs" -LE faults
 
 echo
+echo "== tier 1g: dependency-driven engine across the multiply suites =="
+# Forces the engine executor (docs/ENGINE.md) through every suite that
+# drives srumma_multiply.  Steal scheduling races are benign (C is
+# bitwise-deterministic; only modeled timings move), so correctness,
+# checker, fault and accounting assertions must all hold unchanged.
+# test_block_cache asserts the pipeline's exact fetch schedule
+# (single-flight share counts), which operand-slot dedup changes, so it
+# stays a pipeline-only suite.
+SRUMMA_ENGINE=1 ctest --test-dir "$build" --output-on-failure \
+  -R '^(test_engine|test_srumma|test_task_plan|test_fault_recovery|test_integration|test_rma_checker)$'
+
+echo
 echo "== tier 2: concurrency suites under TSan ($tsan_build) =="
 cmake -B "$tsan_build" -S "$repo" \
   -DSRUMMA_SANITIZE=thread \
@@ -145,11 +164,11 @@ cmake -B "$tsan_build" -S "$repo" \
   -DSRUMMA_BUILD_EXAMPLES=OFF
 cmake --build "$tsan_build" -j "$jobs" \
   --target test_rma --target test_runtime --target test_srumma \
-  --target test_rma_checker --target test_block_cache
+  --target test_rma_checker --target test_block_cache --target test_engine
 # halt_on_error: a data race must fail the suite, not just print.
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
   ctest --test-dir "$tsan_build" --output-on-failure \
-  -R '^(test_rma|test_runtime|test_srumma|test_rma_checker|test_block_cache)$'
+  -R '^(test_rma|test_runtime|test_srumma|test_rma_checker|test_block_cache|test_engine)$'
 
 echo
 echo "== tier 3: static analysis (scripts/lint.sh) =="

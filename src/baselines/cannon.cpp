@@ -66,8 +66,9 @@ MultiplyResult cannon_multiply(Rank& me, Comm& comm, MatrixView a_block,
     a_tmp = Matrix(bm, bk);
     b_tmp = Matrix(bk, bn);
   }
-  me.trace().buffer_bytes_peak =
-      static_cast<std::uint64_t>(bm * bk + bk * bn) * sizeof(double);
+  me.trace().buffer_bytes_peak = std::max(
+      me.trace().buffer_bytes_peak,
+      static_cast<std::uint64_t>(bm * bk + bk * bn) * sizeof(double));
   double* a_cur = opt.phantom ? nullptr : a_block.data();
   double* a_alt = opt.phantom ? nullptr : a_tmp.data();
   double* b_cur = opt.phantom ? nullptr : b_block.data();

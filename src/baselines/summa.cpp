@@ -62,8 +62,9 @@ MultiplyResult summa_multiply(Rank& me, Comm& comm, DistMatrix& a,
     a_panel = Matrix(std::max<index_t>(bm, 1), max_panel);
     b_panel = Matrix(std::max<index_t>(max_panel, 1), bn);
   }
-  me.trace().buffer_bytes_peak =
-      static_cast<std::uint64_t>((bm + bn) * max_panel) * sizeof(double);
+  me.trace().buffer_bytes_peak = std::max(
+      me.trace().buffer_bytes_peak,
+      static_cast<std::uint64_t>((bm + bn) * max_panel) * sizeof(double));
 
   for (std::size_t s = 0; s + 1 < ks.size(); ++s) {
     const index_t k0 = ks[s];

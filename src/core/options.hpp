@@ -50,6 +50,21 @@ enum class ShmFlavor {
   Copy,
 };
 
+/// Task-execution engine selection (docs/ENGINE.md).
+enum class EngineMode : std::uint8_t {
+  /// Defer to the SRUMMA_ENGINE environment variable (unset/0 = Off).
+  Auto,
+  /// The paper's static ordered pipeline (Fig. 3): in-order waits, slot
+  /// rotation, tail requeue on operand failure.  Deterministic timing.
+  Off,
+  /// Dependency-driven task engine (src/engine): per-task operand
+  /// ownership, out-of-order execution across C tiles, fetch re-arm on
+  /// failure, and intra-domain work stealing.  C is bitwise-identical to
+  /// the pipeline; modeled *timing* may vary run-to-run because steal
+  /// decisions race in real time (see docs/ENGINE.md).
+  On,
+};
+
 struct SrummaOptions {
   blas::Trans ta = blas::Trans::No;
   blas::Trans tb = blas::Trans::No;
@@ -58,6 +73,8 @@ struct SrummaOptions {
 
   OrderingPolicy ordering = OrderingPolicy::full();
   ShmFlavor shm_flavor = ShmFlavor::Direct;
+  /// Which executor consumes the task plan (docs/ENGINE.md).
+  EngineMode engine = EngineMode::Auto;
   /// Nonblocking prefetch pipeline (Fig. 3).  Off = issue each get and wait
   /// immediately; the blocking arm of the Fig. 9 experiment.
   bool nonblocking = true;

@@ -7,177 +7,22 @@
 
 #include "blas/gemm.hpp"
 #include "cache/block_cache.hpp"
+#include "engine/engine.hpp"
+#include "engine/operand.hpp"
 #include "trace/tracer.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
 namespace srumma {
 
-namespace {
-
-// One acquired operand patch: either a direct (in-place) view of a peer's
-// block, or a copy fetched into one of the rotating buffers.
-struct OperandState {
-  Matrix buf;            // backing storage for the copy path
-  PatchHandle handle;    // pending fetch (copy path only)
-  ConstMatrixView view;  // what dgemm will read (empty in phantom mode)
-  // Patch identity, for A-reuse matching.
-  index_t i0 = -1, j0 = -1, m = -1, n = -1;
-  bool valid = false;
-  bool direct = false;
-  // The fetch behind this state exhausted its RMA retries: the buffer
-  // contents are unreliable.  Every task that reads it must be requeued,
-  // including later A-reuse consumers — the flag stays set until the state
-  // is re-acquired, and matches() refuses to pair a new task with it.
-  bool failed = false;
-  // Cooperative-cache participation of the current acquire (inactive when
-  // the cache is off, the patch is in-domain, or the path is direct).
-  cache::Ref cache_ref;
-  double rate_factor = 1.0;  // dgemm rate multiplier for direct access
-  // Modeled buffer capacity this state has grown to via copy-path
-  // acquires (tracked even in phantom mode, where nothing is allocated).
-  std::uint64_t cap_bytes = 0;
-  // Highest task index that reads this state.  A state may only be evicted
-  // (refetched with a different patch) once that task has been computed —
-  // reuse runs can keep a buffer live across many pipeline slots.
-  std::ptrdiff_t last_user = -1;
-
-  [[nodiscard]] bool matches(index_t pi0, index_t pj0, index_t pm,
-                             index_t pn) const {
-    return valid && !failed && i0 == pi0 && j0 == pj0 && m == pm && n == pn;
-  }
-};
-
-// Acquire a patch of `mat` into `st` (direct view or nonblocking fetch).
-void acquire(Rank& me, DistMatrix& mat, index_t i0, index_t j0, index_t mi,
-             index_t nj, ShmFlavor flavor, OperandState& st) {
-  const MachineModel& mm = me.machine();
-  SRUMMA_ASSERT(!st.cache_ref.active(),
-                "srumma: re-acquiring an operand whose cache ref was never "
-                "finished");
-  st.handle = PatchHandle{};
-  st.view = ConstMatrixView{};
-  st.i0 = i0;
-  st.j0 = j0;
-  st.m = mi;
-  st.n = nj;
-  st.valid = true;
-  st.failed = false;
-  st.rate_factor = 1.0;
-
-  if (flavor == ShmFlavor::Direct) {
-    const std::optional<int> owner =
-        mat.single_owner_in_domain(me, i0, j0, mi, nj);
-    fault::FaultPlane* fp = me.team().faults();
-    if (owner.has_value() && fp != nullptr &&
-        fp->direct_faults(mm.domain_of(*owner))) {
-      // Direct loads/stores into this domain fault (injected dead domain):
-      // degrade this peer's access flavor to Copy — the one-sided get path
-      // below still works, it just pays the buffer.
-      me.trace().shm_fallbacks += 1;
-      if (trace::Tracer* tr = me.tracer())
-        tr->instant(me.id(), trace::Phase::ShmFallback, me.clock().now());
-    } else if (owner.has_value()) {
-      st.direct = true;
-      // dgemm streams operands straight out of the owner's memory; when the
-      // owner sits on another physical node the kernel runs at the
-      // machine's remote-direct rate (non-cacheable on the X1, NUMA-far on
-      // the Altix).
-      st.rate_factor = mm.node_of(*owner) == me.node()
-                           ? 1.0
-                           : mm.remote_direct_rate_factor;
-      if (!mat.phantom()) {
-        st.view = *mat.direct_view(me, i0, j0, mi, nj);
-      } else {
-        // No data to view, but the *modeled* loads still reach through to
-        // the owner's segment — declare them so the checker sees the same
-        // access pattern the real run would.
-        mat.declare_direct_read(me, *owner, i0, j0, mi, nj);
-      }
-      me.trace().direct_tasks += 1;
-      return;
-    }
-  }
-  // Copy path: fetch into the rotating buffer with a (possibly) nonblocking
-  // generalized get.
-  st.direct = false;
-  MatrixView dst;
-  if (!mat.phantom()) {
-    if (st.buf.rows() < mi || st.buf.cols() < nj) {
-      st.buf = Matrix(mi, nj);
-    }
-    dst = st.buf.block(0, 0, mi, nj);
-    st.view = dst;
-  }
-  const auto do_fetch = [&] { st.handle = mat.fetch_nb(me, i0, j0, mi, nj, dst); };
-  cache::BlockCacheSet* cs = mat.rma().block_cache();
-  if (cs != nullptr && !mat.rect_in_domain(me, i0, j0, mi, nj)) {
-    // Cooperative single-flight acquisition.  As fetcher, the callback
-    // issues this rank's own get and reports whether the issue was clean —
-    // every piece delivered, uncorrupted, and inside the per-op deadline —
-    // in which case the bytes are publishable for domain mates right away.
-    // As sharer, no get is issued at all (st.handle stays empty, so the
-    // compute loop's wait/verify steps skip naturally); the buffer is
-    // filled from the published entry by finish-cache before dgemm.
-    const cache::PatchKey key{mat.region_seq(), i0, j0, mi, nj};
-    st.cache_ref = cs->acquire(
-        me, key, mat.remote_piece_bytes(me, i0, j0, mi, nj),
-        [&]() -> cache::FetchOutcome {
-          do_fetch();
-          const double deadline = mat.rma().retry_policy().op_timeout;
-          bool clean = true;
-          for (const RmaHandle& p : st.handle.pieces) {
-            if (p.failed || p.corrupted ||
-                (deadline > 0.0 && p.completion - p.issue_vt > deadline)) {
-              clean = false;
-            }
-          }
-          return {st.handle.completion(), clean};
-        },
-        st.view);
-    if (st.cache_ref.role == cache::Role::Bypass) do_fetch();
-  } else {
-    do_fetch();
-  }
-  st.cap_bytes = std::max(
-      st.cap_bytes,
-      static_cast<std::uint64_t>(mi) * static_cast<std::uint64_t>(nj) *
-          sizeof(double));
-  me.trace().copy_tasks += 1;
-}
-
-// Checksum stand-in for a freshly fetched copy-path patch: compare the
-// buffer against the owners' (quiescent) segments and refetch on mismatch.
-// Bounded — a refetch draws fresh fault decisions and can be corrupted
-// again, but 16 consecutive corruptions at any sane injection rate means
-// the configuration is broken, not unlucky.  A refetch that itself
-// exhausts its RMA retries marks the state failed so the consuming task
-// requeues through the normal degradation path.
-void verify_operand(Rank& me, DistMatrix& mat, OperandState& st) {
-  if (st.direct || st.failed || mat.phantom()) return;
-  int redos = 0;
-  while (!mat.verify_fetched(me, st.i0, st.j0, st.m, st.n, st.view)) {
-    SRUMMA_REQUIRE(++redos <= 16,
-                   "srumma: fetched patch still corrupt after 16 refetches");
-    const double t0 = me.clock().now();
-    MatrixView dst = st.buf.block(0, 0, st.m, st.n);
-    PatchHandle h = mat.fetch_nb(me, st.i0, st.j0, st.m, st.n, dst);
-    const bool ok = mat.try_wait(me, h);
-    me.trace().checksum_redos += 1;
-    me.trace().time_recovery += me.clock().now() - t0;
-    if (trace::Tracer* tr = me.tracer()) {
-      tr->span(me.id(), trace::Phase::Redo, t0, me.clock().now());
-      tr->counter_set(me.id(), trace::CounterId::RecoverySeconds,
-                      me.clock().now(), me.trace().time_recovery);
-    }
-    if (!ok) {
-      st.failed = true;
-      return;
-    }
-  }
-}
-
-}  // namespace
+// Operand acquisition (direct view / nonblocking fetch / cache-cooperative
+// fetch), checksum verification and the cache epilogue live in
+// engine/operand.* so the static pipeline below and the dependency-driven
+// engine (engine/engine.cpp) acquire operands identically.
+using engine::OperandState;
+using engine::acquire;
+using engine::finish_cache;
+using engine::verify_operand;
 
 MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
                                DistMatrix& c, const SrummaOptions& opt) {
@@ -251,6 +96,7 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
   }
 
   TaskPlan plan = build_task_plan(me, a, b, c, tuned);
+  const int lookahead = opt.nonblocking ? tuned.lookahead : 0;
 
   // Apply beta to my local C block once, before accumulation.
   if (!c.phantom() && opt.beta != 1.0) {
@@ -263,6 +109,24 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
     }
   }
 
+  SRUMMA_REQUIRE(tuned.lookahead >= 1 && tuned.lookahead <= 64,
+                 "srumma: lookahead must be in [1, 64]");
+
+  // Executor dispatch: the dependency-driven engine replaces the rest of
+  // this function's static pipeline with per-task operand ownership,
+  // out-of-order execution across C tiles and intra-domain work stealing
+  // (src/engine, docs/ENGINE.md).  Both executors produce bitwise-identical
+  // C; the engine's modeled timing may vary run to run.
+  if (engine::selected(tuned.engine)) {
+    engine::run_plan(me, a, b, c, tuned, lookahead, plan);
+    const index_t em = c.rows();
+    const index_t en = c.cols();
+    return collect_result(me, start_vt, my_start,
+                          gemm_flops(static_cast<double>(em),
+                                     static_cast<double>(en),
+                                     static_cast<double>(plan.k_total)));
+  }
+
   // Pipeline state (the paper's B1/B2 double buffer, generalized to a
   // prefetch depth of `lookahead`).  B patches are unique per task, so a
   // (lookahead+1)-deep rotation is safe: task t's B slot is not rewritten
@@ -270,9 +134,6 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
   // tasks (Section 3.1's locality consideration), so A states are evicted
   // by last-user age instead of rotation: a pool of lookahead+2 states
   // always contains one whose readers have all been computed.
-  SRUMMA_REQUIRE(tuned.lookahead >= 1 && tuned.lookahead <= 64,
-                 "srumma: lookahead must be in [1, 64]");
-  const int lookahead = opt.nonblocking ? tuned.lookahead : 0;
   const std::size_t n_slots = static_cast<std::size_t>(lookahead) + 1;
   std::vector<OperandState> a_state(n_slots + 1);
   std::vector<OperandState> b_state(n_slots);
@@ -298,32 +159,6 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
   for (cache::BlockCacheSet* cset : cache_sets)
     if (cset != nullptr) cset->begin_epoch(me, cache_default_cap);
 
-  // Cooperative-cache epilogue for one operand state, run after the
-  // pipeline waited on (and possibly verified) its own fetch and before
-  // the task is allowed to requeue (so a failed fetcher always releases
-  // its pin, leaving a dirty entry for the next requester to re-arm).
-  // Sharers pay the intra-domain copy here and register the read with the
-  // checker at the true origin; fetchers publish when the final bytes are
-  // known good — verified against the owner, or delivered with no piece
-  // corrupted — and a late (post-recovery) publish otherwise stays dirty.
-  auto finish_cache = [&me](DistMatrix& mat, OperandState& st, bool fetched,
-                            bool verify) {
-    if (!st.cache_ref.active()) return;
-    cache::BlockCacheSet* cset = mat.rma().block_cache();
-    if (st.cache_ref.role == cache::Role::Shared) {
-      MatrixView dst;
-      if (!mat.phantom()) dst = st.buf.block(0, 0, st.m, st.n);
-      cset->consume_shared(me, st.cache_ref, dst);
-      mat.declare_shared_read(me, st.i0, st.j0, st.m, st.n);
-    } else {
-      bool corrupted = false;
-      for (const RmaHandle& p : st.handle.pieces) corrupted |= p.corrupted;
-      const bool verified = verify && fetched && !st.failed && !mat.phantom();
-      cset->finish_fetch(me, st.cache_ref,
-                         !st.failed && (verified || !corrupted), st.view);
-    }
-  };
-
   // Mutable working copy: a task whose fetch exhausts its RMA retries is
   // re-enqueued at the tail (graceful degradation instead of aborting the
   // whole multiply), so the list can grow while we walk it.
@@ -336,6 +171,10 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
     const std::size_t slot = t_idx % n_slots;
     if (trace::Tracer* tr = me.tracer())
       tr->instant(me.id(), trace::Phase::TaskIssue, me.clock().now(), t_idx);
+    // Fetches issued past the original plan belong to requeued tail copies:
+    // each one is an operand reissue (the engine's re-arm counts the same
+    // way, so the recovery effort of the two executors is comparable).
+    if (t_idx >= plan.tasks.size()) me.trace().task_reissues += 1;
     // A: reuse a live matching patch if the policy allows.
     std::ptrdiff_t ai = -1;
     if (opt.ordering.a_reuse) {
@@ -400,8 +239,8 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
       if (a_fetched) verify_operand(me, a, as);
       if (b_fetched) verify_operand(me, b, bs);
     }
-    finish_cache(a, as, a_fetched, opt.verify_checksums);
-    finish_cache(b, bs, b_fetched, opt.verify_checksums);
+    finish_cache(me, a, as, a_fetched, opt.verify_checksums);
+    finish_cache(me, b, bs, b_fetched, opt.verify_checksums);
     if (as.failed || bs.failed) {
       // Exhausted retries on an operand: push the task to the tail and move
       // on — the pipeline refetches it with fresh handles later (each retry
@@ -436,6 +275,15 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
     }
     me.charge_gemm(t.cm, t.cn, t.kk,
                    std::min(as.rate_factor, bs.rate_factor));
+    // Classify the block product at execution time (not per acquire): both
+    // operands direct -> a direct task, anything else paid a copy buffer.
+    // Keeps copy_tasks + direct_tasks == executed block products exact,
+    // even under requeues, reissues and A-patch reuse.
+    if (as.direct && bs.direct) {
+      me.trace().direct_tasks += 1;
+    } else {
+      me.trace().copy_tasks += 1;
+    }
   }
 
   // Pipeline buffer footprint: what the copy-path acquires grew the
@@ -444,7 +292,9 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
     std::uint64_t bytes = 0;
     for (const OperandState& st : a_state) bytes += st.cap_bytes;
     for (const OperandState& st : b_state) bytes += st.cap_bytes;
-    me.trace().buffer_bytes_peak = bytes;  // per-run value
+    // High-water mark: never let a later, smaller multiply erase the peak
+    // an earlier one established on this rank.
+    me.trace().buffer_bytes_peak = std::max(me.trace().buffer_bytes_peak, bytes);
   }
 
   // Close the cache epoch: the last rank out invalidates the domain's

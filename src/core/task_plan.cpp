@@ -15,12 +15,26 @@ std::vector<index_t> k_segment_bounds(const BlockDist1D& a_axis,
                  "k_segment_bounds: axes disagree on K");
   SRUMMA_REQUIRE(k_chunk >= 0, "k_chunk must be non-negative");
   const index_t k = a_axis.total();
+  // A zero-length axis has no segments: the multiply degenerates to a beta
+  // scaling of C, and every downstream consumer (build_task_plan's nseg,
+  // the refinement loop below) expects a single bound, not a pair.
+  if (k == 0) return {0};
   std::vector<index_t> bounds;
-  for (int p = 0; p <= a_axis.parts(); ++p) bounds.push_back(a_axis.start(p));
-  for (int p = 0; p <= b_axis.parts(); ++p) bounds.push_back(b_axis.start(p));
+  bounds.push_back(0);
+  bounds.push_back(k);
+  // Interior owner boundaries of both axes.  A part with no elements
+  // (k < parts) contributes no boundary: its start duplicates a
+  // neighbour's, and with it the first/last non-empty parts of the axis
+  // would emit degenerate leading/trailing cuts at 0 or k.  Skipping empty
+  // parts makes the dedup below purely about boundaries the two axes
+  // share, never about degenerate segments.
+  for (const BlockDist1D* axis : {&a_axis, &b_axis}) {
+    for (int p = 0; p < axis->parts(); ++p) {
+      if (axis->count(p) > 0) bounds.push_back(axis->start(p));
+    }
+  }
   std::sort(bounds.begin(), bounds.end());
   bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
-  // Drop degenerate leading/trailing duplicates of empty parts.
   if (k_chunk > 0) {
     std::vector<index_t> refined;
     for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {

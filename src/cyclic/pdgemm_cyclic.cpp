@@ -61,8 +61,9 @@ MultiplyResult pdgemm_cyclic(Rank& me, Comm& comm, CyclicMatrix& a,
     a_panel = Matrix(std::max<index_t>(lrows, 1), kb);
     b_panel = Matrix(kb, std::max<index_t>(lcols, 1));
   }
-  me.trace().buffer_bytes_peak =
-      static_cast<std::uint64_t>((lrows + lcols) * kb) * sizeof(double);
+  me.trace().buffer_bytes_peak = std::max(
+      me.trace().buffer_bytes_peak,
+      static_cast<std::uint64_t>((lrows + lcols) * kb) * sizeof(double));
 
   const index_t n_panels = (k + kb - 1) / kb;
   for (index_t t = 0; t < n_panels; ++t) {

@@ -1,0 +1,51 @@
+#pragma once
+// Dependency-driven task engine with intra-domain work stealing
+// (docs/ENGINE.md).
+//
+// The static pipeline in core/srumma.cpp executes the task plan strictly in
+// order: task t waits on the fetches issued for slot t mod (lookahead+1),
+// so one straggling get blocks every later task (head-of-line blocking),
+// and a failed operand sends the whole task to the tail of the list.  The
+// engine replaces those index-arithmetic lifetime rules with explicit
+// per-task operand ownership:
+//
+//   * every task owns references to its operand slots; a slot is fetched
+//     once, shared by every consumer of the same patch, and released when
+//     its last consumer commits;
+//   * tasks execute out of order across C tiles — the scheduler picks the
+//     issued task whose operands land earliest (completions are known at
+//     issue time in the virtual-time model) — while each tile's products
+//     commit in plan order, which keeps C bitwise-identical to the
+//     pipeline's result;
+//   * a failed operand is re-armed in place (fresh fetch, task stays where
+//     it is) instead of requeued at the tail;
+//   * tasks with an out-of-domain operand are posted on a per-domain board;
+//     an idle domain mate may steal one, fetch the operands itself, run the
+//     product into a scratch tile seeded with the owner's current C tile,
+//     and hand the finished tile back through shared memory.  The owner
+//     commits it at the task's plan position, so stealing never perturbs
+//     the numerics.
+//
+// Because steal decisions race in real time, the *modeled timing* of an
+// engine run may vary run to run; the C result is structurally bitwise
+// deterministic.  Tests that compare timings pin EngineMode::Off.
+
+#include "core/options.hpp"
+#include "core/task_plan.hpp"
+#include "dist/dist_matrix.hpp"
+
+namespace srumma::engine {
+
+/// Resolve the tri-state engine option: On/Off are explicit; Auto defers to
+/// the SRUMMA_ENGINE environment variable (unset, empty or "0" = Off).
+[[nodiscard]] bool selected(EngineMode mode);
+
+/// Execute one rank's task plan through the engine.  Called from
+/// srumma_multiply after tuning, plan construction and the beta pre-scale;
+/// opens and closes its own cooperative-cache epoch, exactly like the
+/// static pipeline.  `opt` is the tuned option set; `lookahead` is the
+/// resolved prefetch depth (0 in blocking mode).
+void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
+              const SrummaOptions& opt, int lookahead, const TaskPlan& plan);
+
+}  // namespace srumma::engine

@@ -1,0 +1,86 @@
+#pragma once
+// Operand acquisition shared by the two task executors.
+//
+// One OperandState is one acquired patch of A or B: either a direct
+// (in-place) view of a peer's block, or a copy fetched into a local buffer
+// with a (possibly) nonblocking generalized get, optionally routed through
+// the cooperative block cache.  The static pipeline (core/srumma.cpp) owns
+// a rotating pool of these; the dependency-driven engine (engine/engine.cpp)
+// hands each task-graph operand its own refcounted state.  Both executors
+// must acquire, verify and finish identically — that is what makes their C
+// results and fault behavior comparable — so the machinery lives here, not
+// in either executor.
+//
+// Accounting note: acquire() deliberately bumps no task-classification
+// counters.  copy_tasks / direct_tasks count *block products* and are
+// classified at execution time by the caller (both operands direct ->
+// direct, else copy), so the identity
+//     copy_tasks + direct_tasks == executed block products
+// holds exactly even under fetch reissues and A-patch reuse.
+
+#include "cache/block_cache.hpp"
+#include "core/options.hpp"
+#include "dist/dist_matrix.hpp"
+
+namespace srumma::engine {
+
+// One acquired operand patch: either a direct (in-place) view of a peer's
+// block, or a copy fetched into a local buffer.
+struct OperandState {
+  Matrix buf;            // backing storage for the copy path
+  PatchHandle handle;    // pending fetch (copy path only)
+  ConstMatrixView view;  // what dgemm will read (empty in phantom mode)
+  // Patch identity, for A-reuse matching.
+  index_t i0 = -1, j0 = -1, m = -1, n = -1;
+  bool valid = false;
+  bool direct = false;
+  // The fetch behind this state exhausted its RMA retries: the buffer
+  // contents are unreliable.  Every task that reads it must be requeued
+  // (pipeline) or re-armed (engine), including later A-reuse consumers —
+  // the flag stays set until the state is re-acquired, and matches()
+  // refuses to pair a new task with it.
+  bool failed = false;
+  // Cooperative-cache participation of the current acquire (inactive when
+  // the cache is off, the patch is in-domain, or the path is direct).
+  cache::Ref cache_ref;
+  double rate_factor = 1.0;  // dgemm rate multiplier for direct access
+  // Modeled buffer capacity this state has grown to via copy-path
+  // acquires (tracked even in phantom mode, where nothing is allocated).
+  std::uint64_t cap_bytes = 0;
+  // Highest task index that reads this state (pipeline executor only).  A
+  // state may only be evicted (refetched with a different patch) once that
+  // task has been computed — reuse runs can keep a buffer live across many
+  // pipeline slots.
+  std::ptrdiff_t last_user = -1;
+
+  [[nodiscard]] bool matches(index_t pi0, index_t pj0, index_t pm,
+                             index_t pn) const {
+    return valid && !failed && i0 == pi0 && j0 == pj0 && m == pm && n == pn;
+  }
+};
+
+/// Acquire a patch of `mat` into `st` (direct view or nonblocking fetch).
+void acquire(Rank& me, DistMatrix& mat, index_t i0, index_t j0, index_t mi,
+             index_t nj, ShmFlavor flavor, OperandState& st);
+
+/// Checksum stand-in for a freshly fetched copy-path patch: compare the
+/// buffer against the owners' (quiescent) segments and refetch on mismatch.
+/// Bounded — a refetch draws fresh fault decisions and can be corrupted
+/// again, but 16 consecutive corruptions at any sane injection rate means
+/// the configuration is broken, not unlucky.  A refetch that itself
+/// exhausts its RMA retries marks the state failed so the consuming task
+/// degrades through the executor's normal requeue / re-arm path.
+void verify_operand(Rank& me, DistMatrix& mat, OperandState& st);
+
+/// Cooperative-cache epilogue for one operand state, run after the executor
+/// waited on (and possibly verified) its own fetch and before the task is
+/// allowed to requeue / re-arm (so a failed fetcher always releases its
+/// pin, leaving a dirty entry for the next requester to re-arm).  Sharers
+/// pay the intra-domain copy here and register the read with the checker at
+/// the true origin; fetchers publish when the final bytes are known good —
+/// verified against the owner, or delivered with no piece corrupted — and a
+/// late (post-recovery) publish otherwise stays dirty.
+void finish_cache(Rank& me, DistMatrix& mat, OperandState& st, bool fetched,
+                  bool verify);
+
+}  // namespace srumma::engine

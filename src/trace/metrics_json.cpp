@@ -65,6 +65,7 @@ std::string counters_json(const TraceCounters& t) {
      << ",\"rma_retries\":" << t.rma_retries
      << ",\"rma_op_timeouts\":" << t.rma_op_timeouts
      << ",\"task_requeues\":" << t.task_requeues
+     << ",\"task_reissues\":" << t.task_reissues
      << ",\"shm_fallbacks\":" << t.shm_fallbacks
      << ",\"checksum_redos\":" << t.checksum_redos
      << ",\"time_recovery\":" << num(t.time_recovery)
@@ -76,6 +77,8 @@ std::string counters_json(const TraceCounters& t) {
      << ",\"cache_rearms\":" << t.cache_rearms
      << ",\"cache_refetches\":" << t.cache_refetches
      << ",\"cache_bytes_saved\":" << t.cache_bytes_saved
+     << ",\"engine_tasks\":" << t.engine_tasks
+     << ",\"tasks_stolen\":" << t.tasks_stolen
      << "}";
   return os.str();
 }

@@ -8,7 +8,7 @@ namespace srumma {
 // trace_delta below, operator+= (vtime/trace_counters.hpp) and
 // counters_json (trace/metrics_json.cpp), with its SUM/MAX aggregation
 // documented on the field.
-static_assert(sizeof(TraceCounters) == 33 * sizeof(double),
+static_assert(sizeof(TraceCounters) == 36 * sizeof(double),
               "TraceCounters changed — update trace_delta, operator+=, "
               "counters_json and the per-field aggregation comments");
 
@@ -37,6 +37,7 @@ TraceCounters trace_delta(const TraceCounters& end, const TraceCounters& start) 
   d.rma_retries = end.rma_retries - start.rma_retries;
   d.rma_op_timeouts = end.rma_op_timeouts - start.rma_op_timeouts;
   d.task_requeues = end.task_requeues - start.task_requeues;
+  d.task_reissues = end.task_reissues - start.task_reissues;
   d.shm_fallbacks = end.shm_fallbacks - start.shm_fallbacks;
   d.checksum_redos = end.checksum_redos - start.checksum_redos;
   d.time_recovery = end.time_recovery - start.time_recovery;
@@ -48,6 +49,8 @@ TraceCounters trace_delta(const TraceCounters& end, const TraceCounters& start) 
   d.cache_rearms = end.cache_rearms - start.cache_rearms;
   d.cache_refetches = end.cache_refetches - start.cache_refetches;
   d.cache_bytes_saved = end.cache_bytes_saved - start.cache_bytes_saved;
+  d.engine_tasks = end.engine_tasks - start.engine_tasks;
+  d.tasks_stolen = end.tasks_stolen - start.tasks_stolen;
   return d;
 }
 
@@ -84,13 +87,14 @@ std::string describe(const MultiplyResult& r) {
   const TraceCounters& t = r.trace;
   if (t.faults_injected + t.faults_corrupted + t.faults_delayed +
           t.rma_retries + t.rma_op_timeouts + t.task_requeues +
-          t.shm_fallbacks + t.checksum_redos >
+          t.task_reissues + t.shm_fallbacks + t.checksum_redos >
       0) {
     os << ", recovery: " << t.faults_injected << " failed / "
        << t.faults_corrupted << " corrupted / " << t.faults_delayed
        << " delayed ops, " << t.rma_retries << " retries ("
        << t.rma_op_timeouts << " op-timeouts), " << t.task_requeues
-       << " task requeues, " << t.shm_fallbacks << " shm fallbacks, "
+       << " task requeues, " << t.task_reissues << " fetch reissues, "
+       << t.shm_fallbacks << " shm fallbacks, "
        << t.checksum_redos << " checksum redos, "
        << t.time_recovery * 1e3 << " ms in recovery";
   }
@@ -100,6 +104,10 @@ std::string describe(const MultiplyResult& r) {
        << t.cache_evictions << " evictions, " << t.cache_rearms
        << " rearms, " << t.cache_refetches << " refetches), saved "
        << static_cast<double>(t.cache_bytes_saved) / 1e6 << " MB remote";
+  }
+  if (t.engine_tasks + t.tasks_stolen > 0) {
+    os << ", engine: " << t.engine_tasks << " owner tasks / "
+       << t.tasks_stolen << " stolen";
   }
   return os.str();
 }

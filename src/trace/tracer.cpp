@@ -15,6 +15,8 @@ const char* phase_name(Phase p) {
     case Phase::Redo: return "checksum redo";
     case Phase::Barrier: return "barrier";
     case Phase::Noise: return "os noise";
+    case Phase::Steal: return "steal";
+    case Phase::Handback: return "handback";
     case Phase::Get: return "nbget";
     case Phase::Put: return "nbput";
     case Phase::Acc: return "nbacc";
@@ -22,6 +24,9 @@ const char* phase_name(Phase p) {
     case Phase::Recv: return "recv";
     case Phase::CacheRead: return "cache read";
     case Phase::TaskIssue: return "task issue";
+    case Phase::TaskReady: return "task ready";
+    case Phase::TaskSteal: return "task stolen";
+    case Phase::TaskRearm: return "task rearm";
     case Phase::Requeue: return "task requeue";
     case Phase::ShmFallback: return "shm fallback";
     case Phase::Fault: return "fault injected";

@@ -53,6 +53,10 @@ enum class Phase : std::uint8_t {
   Redo,          ///< checksum-verification refetch of a corrupt patch
   Barrier,       ///< time in a barrier beyond own arrival
   Noise,         ///< injected OS daemon preemption
+  Steal,         ///< thief-side execution of a stolen task (fetch -> gemm
+                 ///< -> handback publish; arg = victim's task index)
+  Handback,      ///< owner-side commit of a stolen C tile (wait for the
+                 ///< thief's publish + intra-domain copy-back)
   // -- in-flight communication spans ----------------------------------------
   Get,   ///< one-sided get, issue -> modeled completion
   Put,   ///< one-sided put
@@ -62,6 +66,10 @@ enum class Phase : std::uint8_t {
   CacheRead,  ///< intra-domain copy out of the cooperative block cache
   // -- instants --------------------------------------------------------------
   TaskIssue,    ///< pipeline issued a task's fetches (arg = task index)
+  TaskReady,    ///< engine task's operands all landed (arg = task index)
+  TaskSteal,    ///< engine task claimed by an idle domain mate (arg = index)
+  TaskRearm,    ///< engine marked a task not-ready and re-armed its failed
+                ///< operand fetches (the engine's requeue replacement)
   Requeue,      ///< task re-enqueued at the tail after operand failure
   ShmFallback,  ///< Direct -> Copy operand degradation (dead domain)
   Fault,        ///< transient transfer failure injected

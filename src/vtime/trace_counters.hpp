@@ -38,12 +38,13 @@ struct TraceCounters {
   std::uint64_t recvs = 0;  ///< (SUM)
   std::uint64_t direct_tasks = 0;  ///< block products fed views in place (SUM)
   std::uint64_t copy_tasks = 0;    ///< block products fed copied buffers (SUM)
-  /// Algorithm-internal buffer memory on one rank for the most recent
-  /// collective operation (communication panels, circulation temps,
-  /// redistribution temporaries — not the matrices themselves).  Each
-  /// top-level algorithm overwrites it per run; the one MAX-aggregated
-  /// field: team totals report the worst rank's footprint, and trace_delta
-  /// carries the end value instead of a difference.
+  /// Algorithm-internal buffer memory on one rank (communication panels,
+  /// circulation temps, redistribution temporaries — not the matrices
+  /// themselves).  A high-water mark: each top-level algorithm
+  /// max-accumulates its own footprint, so a later smaller run never
+  /// erases the peak (Team::reset clears it between experiments).  The one
+  /// MAX-aggregated field: team totals report the worst rank's footprint,
+  /// and trace_delta carries the end value instead of a difference.
   std::uint64_t buffer_bytes_peak = 0;
 
   // -- fault injection & recovery (SUM) (src/fault, RetryPolicy, pipeline) --
@@ -53,6 +54,13 @@ struct TraceCounters {
   std::uint64_t rma_retries = 0;       ///< re-issues performed by waits (SUM)
   std::uint64_t rma_op_timeouts = 0;   ///< attempts hit op_timeout (SUM)
   std::uint64_t task_requeues = 0;     ///< tasks re-enqueued at tail (SUM)
+  /// Operand fetches re-issued after a task's first acquire failed: the
+  /// legacy pipeline counts the re-issue of each requeued tail copy, the
+  /// task engine counts each fetch re-arm (SUM).  Keeps the classification
+  /// identity exact under faults:
+  ///   copy_tasks + direct_tasks == block products executed
+  /// — re-acquires inflate task_reissues, never the class counters.
+  std::uint64_t task_reissues = 0;
   std::uint64_t shm_fallbacks = 0;     ///< Direct -> Copy degradations (SUM)
   std::uint64_t checksum_redos = 0;    ///< patches refetched (corruption) (SUM)
   /// Virtual time sunk into recovery: waits on failed attempts, retry
@@ -74,6 +82,17 @@ struct TraceCounters {
   /// Modeled inter-node bytes NOT transferred because a domain mate's fetch
   /// was shared (SUM) — the cache's headline gauge.
   std::uint64_t cache_bytes_saved = 0;
+
+  // -- dependency-driven task engine (SUM) (src/engine, docs/ENGINE.md) -----
+  /// Block products a rank executed for its own C tiles through the engine
+  /// (SUM).  Engine runs reconcile exactly:
+  ///   engine_tasks + tasks_stolen == copy_tasks + direct_tasks.
+  std::uint64_t engine_tasks = 0;
+  /// Block products executed by an idle domain mate on the owner's behalf,
+  /// counted on the thief at handback publish (SUM); the owner still
+  /// commits the C tile, so every stolen task also appears in exactly one
+  /// of copy_tasks/direct_tasks (again on the thief).
+  std::uint64_t tasks_stolen = 0;
 
   /// Fraction of issued communication hidden behind computation:
   /// 1 - time_wait/time_comm, clamped to [0, 1].  The paper reports >90%
@@ -109,6 +128,7 @@ struct TraceCounters {
     rma_retries += o.rma_retries;
     rma_op_timeouts += o.rma_op_timeouts;
     task_requeues += o.task_requeues;
+    task_reissues += o.task_reissues;
     shm_fallbacks += o.shm_fallbacks;
     checksum_redos += o.checksum_redos;
     time_recovery += o.time_recovery;
@@ -120,6 +140,8 @@ struct TraceCounters {
     cache_rearms += o.cache_rearms;
     cache_refetches += o.cache_refetches;
     cache_bytes_saved += o.cache_bytes_saved;
+    engine_tasks += o.engine_tasks;
+    tasks_stolen += o.tasks_stolen;
     return *this;
   }
 };

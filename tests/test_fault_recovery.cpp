@@ -420,6 +420,55 @@ TEST(FaultRecovery, RecoversBitwiseAcrossSeedsDeterministically) {
   }
 }
 
+TEST(FaultRecovery, ClassificationReconcilesExactlyUnderRequeues) {
+  // Accounting identity: copy_tasks + direct_tasks must equal the block
+  // products actually executed (gemm_calls) — exactly, even when operand
+  // fetches exhaust their RMA retries and tasks are requeued (pipeline) or
+  // re-armed (engine).  The regression this guards: the pipeline counted
+  // the classification at *issue* time, so every requeued task was counted
+  // twice and the copy/direct split drifted from the work done.
+  fault::FaultConfig f;
+  f.seed = 31;
+  f.fail_rate = 0.45;
+  RetryPolicy rp;
+  rp.max_attempts = 2;  // exhaustion is common -> plenty of requeues
+  RmaConfig cfg;
+  cfg.faults = f;
+  cfg.retry = rp;
+  SrummaOptions opt;
+  opt.shm_flavor = ShmFlavor::Copy;  // every operand is fetched
+  opt.c_chunk = 8;
+  opt.k_chunk = 8;
+
+  const index_t n = 32;
+  const Matrix ref = reference_product(n, 13);
+
+  // Static pipeline: failed acquires requeue the task at the tail; each
+  // tail copy's fresh fetches count as reissues, never as new products.
+  opt.engine = EngineMode::Off;
+  FaultRun pipe = run_fault_multiply(MachineModel::testing(2, 2),
+                                     ProcGrid{2, 2}, n, cfg, opt, 13);
+  EXPECT_EQ(max_abs_diff(pipe.c.view(), ref.view()), 0.0);
+  EXPECT_GT(pipe.trace.task_requeues, 0u);
+  EXPECT_GT(pipe.trace.task_reissues, 0u);
+  EXPECT_EQ(pipe.trace.copy_tasks + pipe.trace.direct_tasks,
+            pipe.trace.gemm_calls);
+  EXPECT_EQ(pipe.trace.direct_tasks, 0u);  // Copy flavor: nothing direct
+
+  // Task engine: failed operands re-arm in place — no requeues, the same
+  // reissue counter, and the steal ledger reconciles against the classes.
+  opt.engine = EngineMode::On;
+  FaultRun eng = run_fault_multiply(MachineModel::testing(2, 2),
+                                    ProcGrid{2, 2}, n, cfg, opt, 13);
+  EXPECT_EQ(max_abs_diff(eng.c.view(), ref.view()), 0.0);
+  EXPECT_EQ(eng.trace.task_requeues, 0u);
+  EXPECT_GT(eng.trace.task_reissues, 0u);
+  EXPECT_EQ(eng.trace.copy_tasks + eng.trace.direct_tasks,
+            eng.trace.gemm_calls);
+  EXPECT_EQ(eng.trace.engine_tasks + eng.trace.tasks_stolen,
+            eng.trace.copy_tasks + eng.trace.direct_tasks);
+}
+
 TEST(FaultRecovery, CheckerStaysCleanUnderRetries) {
   // A retried op must be a fresh checker op, not a double-wait on the old
   // one: with the shadow-state checker in throw mode, completing at all is

@@ -49,6 +49,52 @@ TEST(KSegments, MismatchedTotalsThrow) {
   EXPECT_THROW(k_segment_bounds(a, b, 0), Error);
 }
 
+TEST(KSegments, ZeroKDegeneratesToSingleBound) {
+  // k == 0: the multiply is a pure beta scaling of C; downstream consumers
+  // expect one bound (zero segments), not the {0, 0} pair a naive
+  // implementation emits.
+  BlockDist1D a(0, 3), b(0, 2);
+  EXPECT_EQ(k_segment_bounds(a, b, 0), std::vector<index_t>{0});
+  EXPECT_EQ(k_segment_bounds(a, b, 4), std::vector<index_t>{0});
+}
+
+TEST(KSegments, EmptyPartsEmitNoDegenerateCuts) {
+  // k < parts: the empty tail parts all start at k; their boundaries must
+  // be skipped or the plan would contain zero-length K segments.
+  BlockDist1D a(3, 5), b(3, 7);
+  EXPECT_EQ(k_segment_bounds(a, b, 0), (std::vector<index_t>{0, 1, 2, 3}));
+}
+
+TEST(KSegments, RandomizedInvariants) {
+  // Property sweep over axis sizes (including 0 and k < parts), part
+  // counts, and chunk values: bounds are strictly increasing from 0 to k,
+  // every segment is at most k_chunk long (when chunking), and no segment
+  // crosses an owner boundary of either axis.
+  Rng rng(20260808);
+  for (int trial = 0; trial < 300; ++trial) {
+    const index_t k = static_cast<index_t>(rng.below(41));
+    BlockDist1D a(k, 1 + static_cast<int>(rng.below(8)));
+    BlockDist1D b(k, 1 + static_cast<int>(rng.below(8)));
+    const index_t chunk = static_cast<index_t>(rng.below(6));  // 0 = off
+    const auto ks = k_segment_bounds(a, b, chunk);
+    ASSERT_GE(ks.size(), 1u) << "trial " << trial;
+    EXPECT_EQ(ks.front(), 0) << "trial " << trial;
+    EXPECT_EQ(ks.back(), k) << "trial " << trial;
+    if (k == 0) {
+      EXPECT_EQ(ks, std::vector<index_t>{0}) << "trial " << trial;
+      continue;
+    }
+    for (std::size_t s = 0; s + 1 < ks.size(); ++s) {
+      ASSERT_LT(ks[s], ks[s + 1]) << "trial " << trial;
+      if (chunk > 0) {
+        EXPECT_LE(ks[s + 1] - ks[s], chunk) << "trial " << trial;
+      }
+      EXPECT_EQ(a.owner(ks[s]), a.owner(ks[s + 1] - 1)) << "trial " << trial;
+      EXPECT_EQ(b.owner(ks[s]), b.owner(ks[s + 1] - 1)) << "trial " << trial;
+    }
+  }
+}
+
 TEST(TileBounds, ChunkingAndWhole) {
   EXPECT_EQ(tile_bounds(10, 0), (std::vector<index_t>{0, 10}));
   EXPECT_EQ(tile_bounds(10, 4), (std::vector<index_t>{0, 4, 8, 10}));
