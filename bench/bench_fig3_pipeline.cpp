@@ -38,10 +38,13 @@ void run_arm(const std::string& label, bool nonblocking,
             << TableWriter::num(out.overlap * 100.0, 1) << "%\n";
   team.timeline()->print_gantt(std::cout, 0.0, 0.0, 100, 4);
   std::cout << "\n";
-  log.add(nonblocking ? "nonblocking" : "blocking", out,
-          {{"n", static_cast<double>(n)},
-           {"ranks", static_cast<double>(team.size())},
-           {"cache", cache_engaged(rma) ? 1.0 : 0.0}});
+  trace::NumberMap params{{"n", static_cast<double>(n)},
+                          {"ranks", static_cast<double>(team.size())},
+                          {"cache", cache_engaged(rma) ? 1.0 : 0.0}};
+  SrummaOptions aopt;
+  aopt.nonblocking = nonblocking;
+  append_static_bounds(params, team.machine(), n, n, n, aopt);
+  log.add(nonblocking ? "nonblocking" : "blocking", out, std::move(params));
 }
 
 }  // namespace

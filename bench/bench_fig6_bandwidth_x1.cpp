@@ -45,8 +45,8 @@ int main() {
       me.barrier();
     });
     table.add_row({TableWriter::num(static_cast<long long>(bytes)),
-                   TableWriter::num(bytes / t_get / 1e6, 1),
-                   TableWriter::num(bytes / t_mpi / 1e6, 1)});
+                   TableWriter::num(static_cast<double>(bytes) / t_get / 1e6, 1),
+                   TableWriter::num(static_cast<double>(bytes) / t_mpi / 1e6, 1)});
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: the block-copy get wins across the whole "

@@ -46,8 +46,8 @@ void run_machine(const std::string& name, MachineModel machine) {
       me.barrier();
     });
     table.add_row({TableWriter::num(static_cast<long long>(bytes)),
-                   TableWriter::num(bytes / t_get / 1e6, 1),
-                   TableWriter::num(bytes / t_mpi / 1e6, 1),
+                   TableWriter::num(static_cast<double>(bytes) / t_get / 1e6, 1),
+                   TableWriter::num(static_cast<double>(bytes) / t_mpi / 1e6, 1),
                    TableWriter::num(t_get * 1e6, 1),
                    TableWriter::num(t_mpi * 1e6, 1)});
   }

@@ -24,7 +24,9 @@ int main() {
     double overlap = 0.0;
     for (bool nonblocking : {false, true}) {
       for (bool zero_copy : {false, true}) {
-        Testbed tb(machine, RmaConfig{.zero_copy = zero_copy});
+        RmaConfig rc;
+        rc.zero_copy = zero_copy;
+        Testbed tb(machine, rc);
         SrummaOptions opt;
         opt.nonblocking = nonblocking;
         const MultiplyResult r = run_srumma(tb, n, n, n, opt);

@@ -28,7 +28,8 @@ int main() {
                      "pdgemm KB", "pdgemm At*Bt KB", "Cannon KB"});
   for (index_t n : {1000, 2000, 4000, 8000}) {
     const double matrix_kb =
-        static_cast<double>(n) * n * sizeof(double) / p_ranks / 1024.0;
+        static_cast<double>(n) * static_cast<double>(n) *
+        static_cast<double>(sizeof(double)) / p_ranks / 1024.0;
 
     const MultiplyResult s = run_srumma(tb, n, n, n, SrummaOptions{});
     SrummaOptions capped;

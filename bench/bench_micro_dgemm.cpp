@@ -32,9 +32,15 @@ void setup(index_t n, Matrix& a, Matrix& b, Matrix& c) {
   srumma::fill_random(b.view(), 2);
 }
 
+double gemm_flops(index_t m, index_t n, index_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
 void set_gflops(benchmark::State& state, double flops_per_iter) {
   state.counters["GFLOP/s"] = benchmark::Counter(
-      flops_per_iter * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+      flops_per_iter * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
 }
 
 void BM_GemmBlocked(benchmark::State& state) {
@@ -47,7 +53,7 @@ void BM_GemmBlocked(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.SetLabel(srumma::blas::active_kernel().name);
-  set_gflops(state, 2.0 * static_cast<double>(n) * n * n);
+  set_gflops(state, gemm_flops(n, n, n));
 }
 BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
@@ -60,7 +66,7 @@ void BM_GemmNaive(benchmark::State& state) {
                              b.data(), n, 0.0, c.data(), n);
     benchmark::DoNotOptimize(c.data());
   }
-  set_gflops(state, 2.0 * static_cast<double>(n) * n * n);
+  set_gflops(state, gemm_flops(n, n, n));
 }
 BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
 
@@ -73,7 +79,7 @@ void BM_GemmBlockedTransposed(benchmark::State& state) {
                                n, b.data(), n, 0.0, c.data(), n);
     benchmark::DoNotOptimize(c.data());
   }
-  set_gflops(state, 2.0 * static_cast<double>(n) * n * n);
+  set_gflops(state, gemm_flops(n, n, n));
 }
 BENCHMARK(BM_GemmBlockedTransposed)->Arg(128)->Arg(256);
 
@@ -89,7 +95,7 @@ void BM_GemmPanel(benchmark::State& state) {
                                m, b.data(), k, 1.0, c.data(), m);
     benchmark::DoNotOptimize(c.data());
   }
-  set_gflops(state, 2.0 * static_cast<double>(m) * m * k);
+  set_gflops(state, gemm_flops(m, m, k));
 }
 BENCHMARK(BM_GemmPanel)->Args({256, 64})->Args({256, 128})->Args({512, 128});
 
@@ -105,7 +111,7 @@ void BM_GemmKernel(benchmark::State& state, const GemmKernel* kern) {
                                     n);
     benchmark::DoNotOptimize(c.data());
   }
-  set_gflops(state, 2.0 * static_cast<double>(n) * n * n);
+  set_gflops(state, gemm_flops(n, n, n));
 }
 
 void register_per_kernel_benches() {

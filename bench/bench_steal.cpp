@@ -77,11 +77,16 @@ int main() {
                    TableWriter::num(static_cast<long long>(t.copy_tasks)),
                    TableWriter::num(static_cast<long long>(t.direct_tasks)),
                    TableWriter::num(static_cast<long long>(t.task_reissues))});
-    log.add(a.label, a.result,
-            {{"n", static_cast<double>(n)},
-             {"straggler_node", static_cast<double>(straggler)},
-             {"straggler_factor", 8.0},
-             {"engine", a.label[0] == 'e' ? 1.0 : 0.0}});
+    trace::NumberMap params{{"n", static_cast<double>(n)},
+                            {"straggler_node", static_cast<double>(straggler)},
+                            {"straggler_factor", 8.0},
+                            {"engine", a.label[0] == 'e' ? 1.0 : 0.0}};
+    // The overall bound covers both executors, so one emitted ceiling is
+    // valid for the pipeline and the engine arm alike.
+    SrummaOptions aopt = platform_options(machine);
+    aopt.c_chunk = n / 16;
+    append_static_bounds(params, machine, n, n, n, aopt);
+    log.add(a.label, a.result, std::move(params));
   }
   table.print(std::cout,
               "Linux cluster, 4 dual nodes (8 ranks), N=" +

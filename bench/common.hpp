@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/analyzer.hpp"
 #include "baselines/cannon.hpp"
 #include "baselines/summa.hpp"
 #include "cache/block_cache.hpp"
@@ -20,6 +21,7 @@
 #include "perf/model.hpp"
 #include "rma/rma.hpp"
 #include "trace/metrics_json.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
 namespace srumma::bench {
@@ -145,6 +147,32 @@ inline SrummaOptions platform_options(const MachineModel& m) {
     opt.shm_flavor = ShmFlavor::Copy;
   }
   return opt;
+}
+
+/// Static-analyzer ceilings for this bench configuration, appended to the
+/// metrics-JSON params.  scripts/bench_report.sh and check.sh assert every
+/// row's runtime buffer_bytes_peak counter stays <= the emitted bound, so
+/// a pipeline/engine buffering regression fails the report, not just the
+/// unit tests.  Requires the analyzer to certify the configuration — a
+/// bench must never run a schedule the static verifier rejects.
+inline void append_static_bounds(trace::NumberMap& params,
+                                 const MachineModel& machine, index_t m,
+                                 index_t n, index_t k,
+                                 const SrummaOptions& opt) {
+  analysis::AnalysisConfig cfg;
+  cfg.machine = machine;
+  cfg.options = opt;
+  cfg.m = m;
+  cfg.n = n;
+  cfg.k = k;
+  const analysis::AnalysisReport rep =
+      analysis::analyze(analysis::build_plan_model(cfg));
+  SRUMMA_REQUIRE(rep.certified(),
+                 "static analyzer flagged this bench configuration");
+  params.emplace_back("buffer_bytes_peak_bound",
+                      static_cast<double>(rep.bounds.buffer_bytes));
+  params.emplace_back("cache_pins_bound",
+                      static_cast<double>(rep.bounds.cache_pins));
 }
 
 inline std::string gf(double gflops) { return TableWriter::num(gflops, 1); }

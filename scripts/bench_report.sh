@@ -62,6 +62,15 @@ for path in sys.argv[1:]:
         assert row["metrics"], f"{path}: row without metrics"
         for v in list(row["params"].values()) + list(row["metrics"].values()):
             assert isinstance(v, (int, float)), f"{path}: non-numeric value"
+        # Rows that carry a srumma-analyze static ceiling must stay under
+        # it at runtime — the analyzer's resource-bound proof is only a
+        # proof if the measured peak never crosses it.
+        bound = row["params"].get("buffer_bytes_peak_bound")
+        peak = row.get("counters", {}).get("buffer_bytes_peak")
+        if bound is not None and peak is not None:
+            assert peak <= bound, (
+                f"{path}/{row['label']}: buffer_bytes_peak {peak} exceeds "
+                f"static bound {bound}")
     print(f"{path}: ok ({len(doc['rows'])} rows)")
 
 # BENCH_cache.json additionally carries the cooperative block cache's

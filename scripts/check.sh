@@ -26,6 +26,11 @@
 #       (test_block_cache is excluded: its single-flight sharing test
 #       pins the pipeline's fetch schedule, which the engine's
 #       operand-slot dedup legitimately changes);
+#   1h. the static plan analyzer (docs/ANALYSIS.md): srumma-analyze must
+#       certify a sweep of clean configurations with zero findings, flag
+#       all four seeded plan-mutation classes, and cross-validate the
+#       dynamic RMA checker on journaled runs of both executors via the
+#       happens-before race detector (--trace);
 #   2.  a TSan build running the concurrency-heavy suites
 #       (test_rma, test_runtime, test_srumma, test_rma_checker,
 #       test_block_cache, test_engine);
@@ -122,7 +127,17 @@ with open(sys.argv[2]) as f:
     doc = json.load(f)
 assert doc["schema"] == "srumma-bench-metrics/1"
 assert doc["rows"] and all(r["metrics"] for r in doc["rows"])
-print(f"{sys.argv[2]}: ok ({len(doc['rows'])} rows)")
+for row in doc["rows"]:
+    # fig3 rows embed the srumma-analyze static ceiling; the measured
+    # peak crossing it would falsify the analyzer's resource-bound proof.
+    bound = row["params"].get("buffer_bytes_peak_bound")
+    peak = row["counters"].get("buffer_bytes_peak")
+    assert bound is not None and peak is not None, \
+        f"fig3/{row['label']}: missing static bound or runtime peak"
+    assert peak <= bound, (
+        f"fig3/{row['label']}: buffer_bytes_peak {peak} exceeds "
+        f"static bound {bound}")
+print(f"{sys.argv[2]}: ok ({len(doc['rows'])} rows, peaks under bounds)")
 EOF
 else
   echo "check.sh: python3 not found, skipping trace JSON validation"
@@ -155,6 +170,48 @@ echo "== tier 1g: dependency-driven engine across the multiply suites =="
 # stays a pipeline-only suite.
 SRUMMA_ENGINE=1 ctest --test-dir "$build" --output-on-failure \
   -R '^(test_engine|test_srumma|test_task_plan|test_fault_recovery|test_integration|test_rma_checker)$'
+
+echo
+echo "== tier 1h: static plan analyzer + happens-before cross-check =="
+analyze="$build/tools/srumma-analyze"
+# Clean sweep: the analyzer must certify (exit 0, zero findings) one
+# configuration per machine family the paper reports, covering both
+# shared-memory flavors, tiling, and an oversubscribed SMP.
+clean_configs=(
+  "--machine testing --nodes 2 --rpn 2 --m 96 --n 96 --k 96"
+  "--machine testing --nodes 2 --rpn 2 --m 96 --n 96 --k 96 --flavor copy"
+  "--machine cluster --nodes 4 --m 192 --n 192 --k 192 --c-chunk 48"
+  "--machine sp --nodes 2 --m 128 --n 128 --k 128"
+  "--machine x1 --nodes 2 --flavor copy --m 96 --n 96 --k 96"
+  "--machine altix --nodes 4 --rpn 2 --m 96 --n 96 --k 96"
+)
+for cfg in "${clean_configs[@]}"; do
+  # shellcheck disable=SC2086
+  "$analyze" $cfg > /dev/null \
+    || { echo "check.sh: analyzer rejected clean config: $cfg"; exit 1; }
+done
+echo "analyzer: ${#clean_configs[@]} clean configurations certified"
+# Negative tests: every seeded mutation class must be flagged (nonzero
+# exit).  A mutation slipping through means the analyzer lost coverage.
+for mut in drop-wait reorder-commit widen-get alias-scratch; do
+  if "$analyze" --machine cluster --nodes 2 --flavor copy \
+      --m 96 --n 96 --k 96 --k-chunk 24 --mutate "$mut" > /dev/null 2>&1; then
+    echo "check.sh: analyzer missed seeded mutation: $mut"
+    exit 1
+  fi
+done
+echo "analyzer: all 4 seeded mutation classes flagged"
+# Happens-before cross-validation: journal real runs of both executors
+# under the dynamic checker, then prove the epoch-based checker missed no
+# race the HB model finds (srumma-analyze --trace exits nonzero on a miss).
+SRUMMA_RMA_CHECK=1 SRUMMA_RMA_JOURNAL="$trace_dir/journal_pipeline.jsonl" \
+  "$build/examples/quickstart" --n 96 --nodes 2 > /dev/null
+"$analyze" --trace "$trace_dir/journal_pipeline.jsonl" > /dev/null
+SRUMMA_ENGINE=1 SRUMMA_RMA_CHECK=1 \
+SRUMMA_RMA_JOURNAL="$trace_dir/journal_engine.jsonl" \
+  "$build/examples/quickstart" --n 96 --nodes 2 > /dev/null
+"$analyze" --trace "$trace_dir/journal_engine.jsonl" > /dev/null
+echo "analyzer: HB race detector cross-validated both executors' journals"
 
 echo
 echo "== tier 2: concurrency suites under TSan ($tsan_build) =="

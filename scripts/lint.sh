@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Static analysis gate for src/ (also wired as the `lint` CMake target).
+# Static analysis gate for src/, tests/, and bench/ (also wired as the
+# `lint` CMake target).
 #
 # Preferred backend: clang-tidy over a compile_commands.json, using the
 # checks in .clang-tidy (bugprone-*, concurrency-*, performance-*).  When
 # clang-tidy is not installed (the reference container ships GCC only) the
-# script falls back to a strict warnings-as-errors GCC build of the library
-# targets, which still catches the bulk of the bugprone/performance classes
-# the tidy profile targets.
+# script falls back to a strict warnings-as-errors GCC build of the library,
+# test, and bench targets, which still catches the bulk of the
+# bugprone/performance classes the tidy profile targets.
 #
 # Usage: scripts/lint.sh [build-dir]
 # Exits non-zero on any finding.
@@ -18,26 +19,28 @@ build="${1:-$repo/build}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 if command -v clang-tidy >/dev/null 2>&1; then
-  echo "== lint: clang-tidy over src/ =="
+  echo "== lint: clang-tidy over src/ tests/ bench/ =="
   if [ ! -f "$build/compile_commands.json" ]; then
     cmake -B "$build" -S "$repo" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   fi
-  mapfile -t sources < <(find "$repo/src" -name '*.cpp' | sort)
+  mapfile -t sources \
+    < <(find "$repo/src" "$repo/tests" "$repo/bench" -name '*.cpp' | sort)
   clang-tidy -p "$build" --quiet --warnings-as-errors='*' "${sources[@]}"
   echo "lint: clang-tidy clean"
   exit 0
 fi
 
-echo "== lint: clang-tidy not found; strict GCC warnings build of src/ =="
+echo "== lint: clang-tidy not found; strict GCC warnings build of src/ tests/ bench/ =="
 lint_build="$repo/build-lint"
 cmake -B "$lint_build" -S "$repo" \
   -DSRUMMA_WERROR=ON \
-  -DSRUMMA_BUILD_TESTS=OFF \
-  -DSRUMMA_BUILD_BENCH=OFF \
+  -DSRUMMA_BUILD_TESTS=ON \
+  -DSRUMMA_BUILD_BENCH=ON \
   -DSRUMMA_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="-Wnon-virtual-dtor -Woverloaded-virtual -Wcast-align \
 -Wpointer-arith -Wundef -Wwrite-strings -Wvla -Wformat=2 \
--Wimplicit-fallthrough=5 -Wlogical-op -Wduplicated-cond -Wduplicated-branches" \
+-Wimplicit-fallthrough=5 -Wlogical-op -Wduplicated-cond -Wduplicated-branches \
+-Wconversion -Wsign-conversion" \
   >/dev/null
 cmake --build "$lint_build" -j "$jobs"
 echo "lint: strict GCC build clean"

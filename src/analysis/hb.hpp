@@ -1,0 +1,86 @@
+#pragma once
+// Happens-before race detector over RMA-checker journals (srumma-analyze
+// --trace, docs/ANALYSIS.md).
+//
+// The dynamic checker reasons in barrier epochs and handle identities; this
+// module rebuilds the same execution from its journal with an *independent*
+// happens-before order and cross-validates the two: every HB race must have
+// a matching recorded diagnostic, or the epoch model has a blind spot —
+// a hard failure for `srumma-analyze --trace`.
+//
+// The HB order is the weakest one the runtime actually guarantees:
+//   - program order within a rank (journal lines of one rank are ordered);
+//   - collective barriers (everything a rank completed before entering
+//     barrier epoch e happens-before anything any rank issues in epoch
+//     > e).
+// An operation occupies [issue, wait]; an op whose wait never appears
+// stays open forever.  Two operations race when their byte footprints
+// overlap, at least one writes, and neither's completion happens-before
+// the other's issue (atomic accumulates are exempt against each other).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/journal.hpp"
+
+namespace srumma::analysis {
+
+/// One operation reconstructed from the journal.
+struct HbOp {
+  int rank = -1;
+  std::string kind;  ///< get/put/acc/direct-read/compute-read/local-write
+  int owner = -1;
+  std::uint64_t seq = ~std::uint64_t{0};  ///< target region, ~0 = unresolved
+  std::uint64_t handle = 0;               ///< 0 = completed at issue
+  std::size_t issue_line = 0;             ///< journal line index
+  std::size_t wait_line = 0;              ///< == issue_line when synchronous
+  bool waited = false;
+  std::uint64_t issue_epoch = 0;
+  std::uint64_t wait_epoch = 0;  ///< valid only when waited
+  // Byte footprints as journaled (remote: owner-segment offsets; local:
+  // absolute origin addresses, 0 when running phantom).
+  std::uint64_t rlo = 0, rrows = 0, rcols = 0, rld = 0;
+  std::uint64_t llo = 0, lrows = 0, lcols = 0, lld = 0;
+  std::string site;
+};
+
+/// A pair of operations unordered by happens-before with conflicting
+/// overlapping footprints.
+struct HbRace {
+  std::size_t op1 = 0;  ///< indices into HbResult::ops
+  std::size_t op2 = 0;
+  bool remote = false;  ///< true: owner-segment conflict; false: local buffer
+  std::uint64_t seq = ~std::uint64_t{0};
+  int owner = -1;
+  /// True when some journaled diagnostic plausibly covers this race (same
+  /// region or same rank) — i.e. the epoch checker saw it too.
+  bool matched = false;
+};
+
+struct HbResult {
+  std::size_t n_records = 0;
+  std::size_t n_barriers = 0;
+  std::vector<HbOp> ops;
+  std::vector<trace::JournalRecord> diags;
+  std::vector<HbRace> races;
+
+  /// Races the epoch-based checker did not diagnose — the cross-validation
+  /// failure count.
+  [[nodiscard]] std::size_t missed() const {
+    std::size_t n = 0;
+    for (const HbRace& r : races)
+      if (!r.matched) ++n;
+    return n;
+  }
+};
+
+/// Run the happens-before analysis over a parsed journal stream.
+[[nodiscard]] HbResult analyze_journal(
+    const std::vector<trace::JournalRecord>& recs);
+
+/// Machine-readable report ("srumma-analysis-trace/1"), one JSON object.
+[[nodiscard]] std::string hb_report_json(const std::string& path,
+                                         const HbResult& res);
+
+}  // namespace srumma::analysis

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "runtime/team.hpp"
+#include "trace/journal.hpp"
 #include "util/error.hpp"
 
 namespace srumma::check {
@@ -104,10 +105,47 @@ RmaChecker::RmaChecker(Team& team, bool throw_on_diagnostic)
       throw_on_diagnostic_(throw_on_diagnostic),
       epoch_(static_cast<std::size_t>(team.size()), 0),
       completed_handles_(static_cast<std::size_t>(team.size())) {
+  const std::string journal_path = trace::journal_env_path();
+  if (!journal_path.empty())
+    journal_ = std::make_unique<trace::JournalWriter>(journal_path);
   observer_id_ = team_.add_epoch_observer([this](int r) { on_barrier(r); });
 }
 
 RmaChecker::~RmaChecker() { team_.remove_epoch_observer(observer_id_); }
+
+void RmaChecker::journal_op(const OpRecord& op) {
+  if (!journal_) return;
+  trace::JournalRecord r;
+  r.ev = "op";
+  r.rank = op.rank;
+  r.kind = op_name(op.kind);
+  r.owner = op.owner;
+  r.seq = op.seq;
+  r.handle = op.completed ? 0 : op.handle;  // 0 = completed synchronously
+  r.epoch = op.epoch;
+  r.rlo = op.remote.lo;
+  r.rrows = op.remote.rows;
+  r.rcols = op.remote.cols;
+  r.rld = op.remote.ld;
+  r.llo = op.local.lo;
+  r.lrows = op.local.rows;
+  r.lcols = op.local.cols;
+  r.lld = op.local.ld;
+  r.site = site_str(op.site);
+  journal_->record(r);
+}
+
+void RmaChecker::journal_event(const char* ev, int rank, std::uint64_t seq,
+                               std::uint64_t handle) {
+  if (!journal_) return;
+  trace::JournalRecord r;
+  r.ev = ev;
+  r.rank = rank;
+  r.seq = seq;
+  r.handle = handle;
+  r.epoch = epoch_[static_cast<std::size_t>(rank)];
+  journal_->record(r);
+}
 
 void RmaChecker::emit(Diag d, int rank, std::uint64_t seq, int owner,
                       const Footprint& fp, std::uint64_t epoch,
@@ -136,6 +174,23 @@ void RmaChecker::emit(Diag d, int rank, std::uint64_t seq, int owner,
   os << ", at " << r.site << ": " << detail;
   r.message = os.str();
   reports_.push_back(r);
+  if (journal_) {
+    trace::JournalRecord jr;
+    jr.ev = "diag";
+    jr.kind = diag_name(d);
+    jr.rank = rank;
+    jr.owner = owner;
+    jr.seq = seq;
+    jr.handle = handle;
+    jr.epoch = epoch;
+    // The report interval [lo, hi) as a degenerate one-column footprint.
+    jr.rlo = r.lo;
+    jr.rrows = r.hi - r.lo;
+    jr.rcols = r.hi > r.lo ? 1 : 0;
+    jr.rld = r.hi - r.lo;
+    jr.site = r.site;
+    journal_->record(jr);
+  }
   if (throw_on_diagnostic_) throw Error(r.message);
 }
 
@@ -164,11 +219,24 @@ void RmaChecker::on_malloc(int rank, std::uint64_t seq, const double* base,
   s.len = elems * sizeof(double);
   segs_by_id_[{seq, rank}] = s;
   if (s.base != 0 && s.len != 0) segs_by_base_[s.base] = s;
+  if (journal_) {
+    trace::JournalRecord r;
+    r.ev = "alloc";
+    r.rank = rank;
+    r.owner = rank;
+    r.seq = seq;
+    r.epoch = epoch_[static_cast<std::size_t>(rank)];
+    r.rrows = s.len;  // segment bytes
+    r.rcols = s.len != 0 ? 1 : 0;
+    r.rld = s.len;
+    journal_->record(r);
+  }
 }
 
 void RmaChecker::on_free(int rank, std::uint64_t seq,
                          std::source_location site) {
   std::lock_guard<std::mutex> lock(mu_);
+  journal_event("free", rank, seq, 0);
   // The freeing rank must have completed every transfer it issued against
   // the region; flag and retire stragglers so the barrier inside
   // free_symmetric does not re-report them.
@@ -285,6 +353,7 @@ std::uint64_t RmaChecker::on_issue(int rank, OpKind kind, int owner,
     op.owner = owner;
   }
 
+  journal_op(op);
   ops_.push_back(op);
   return op.handle;
 }
@@ -293,6 +362,7 @@ void RmaChecker::on_wait(int rank, std::uint64_t handle_id,
                          std::source_location site) {
   if (handle_id == 0) return;  // issued while the checker was off
   std::lock_guard<std::mutex> lock(mu_);
+  journal_event("wait", rank, kNoRegion, handle_id);
   auto& done = completed_handles_[static_cast<std::size_t>(rank)];
   if (done.count(handle_id) != 0) {
     emit(Diag::DoubleWait, rank, kNoRegion, -1, Footprint{},
@@ -313,6 +383,7 @@ void RmaChecker::on_wait(int rank, std::uint64_t handle_id,
 
 void RmaChecker::on_barrier(int rank) {
   std::lock_guard<std::mutex> lock(mu_);
+  journal_event("barrier", rank, kNoRegion, 0);
   // (2) every handle this rank issued in the closing epoch must be complete.
   for (const OpRecord& op : ops_) {
     if (op.rank != rank || op.completed || op.handle == 0) continue;
@@ -361,6 +432,7 @@ void RmaChecker::on_direct_access(int rank, int owner, std::uint64_t seq,
     }
   }
   check_region_conflicts(op);
+  journal_op(op);
   ops_.push_back(op);
 }
 
@@ -387,6 +459,7 @@ void RmaChecker::on_shared_read(int rank, int owner, std::uint64_t seq,
     }
   }
   check_region_conflicts(op);
+  journal_op(op);
   ops_.push_back(op);
 }
 
@@ -420,6 +493,7 @@ void RmaChecker::on_compute_access(int rank, const double* ptr,
     // (3) local compute on a live region joins the epoch conflict map.
     check_region_conflicts(op);
   }
+  journal_op(op);
   ops_.push_back(op);
 }
 

@@ -39,6 +39,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <source_location>
@@ -48,6 +49,10 @@
 namespace srumma {
 class Team;
 }  // namespace srumma
+
+namespace srumma::trace {
+class JournalWriter;
+}  // namespace srumma::trace
 
 namespace srumma::check {
 
@@ -200,10 +205,16 @@ class RmaChecker {
   void emit(Diag d, int rank, std::uint64_t seq, int owner,
             const Footprint& fp, std::uint64_t epoch, std::uint64_t handle,
             std::source_location site, const std::string& detail);
+  /// Journal an op/declaration record when SRUMMA_RMA_JOURNAL is set
+  /// (srumma-analyze --trace cross-validates the stream, docs/ANALYSIS.md).
+  void journal_op(const OpRecord& op);
+  void journal_event(const char* ev, int rank, std::uint64_t seq,
+                     std::uint64_t handle);
 
   Team& team_;
   bool throw_on_diagnostic_;
   std::uint64_t observer_id_;
+  std::unique_ptr<trace::JournalWriter> journal_;
 
   std::mutex mu_;
   std::uint64_t next_handle_ = 1;

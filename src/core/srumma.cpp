@@ -36,64 +36,11 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
   trace::SpanGuard multiply_span(me.tracer(), me.id(), trace::Phase::Multiply,
                                  me.clock());
 
-  SrummaOptions tuned = opt;
-  if (tuned.k_chunk == 0) {
-    // Auto block size derived from the K-axis owner segmentation of the
-    // stored operands (see auto_k_chunk).  This reproduces the paper's
-    // empirically-tuned block size at the model level.
-    tuned.k_chunk = auto_k_chunk(a, b, opt.ta, opt.tb);
-  }
-
-  if (tuned.lookahead == 0) {
-    // Auto prefetch depth: SRUMMA_LOOKAHEAD wins; otherwise keep enough
-    // patches in flight to cover the network's latency-bandwidth product
-    // (one get's payload per slot), so the pipeline never drains while an
-    // issue is still paying t_s.  A patch is roughly (local C extent,
-    // capped by c_chunk) x k_chunk doubles.
-    if (const char* env = std::getenv("SRUMMA_LOOKAHEAD")) {
-      char* end = nullptr;
-      const long v = std::strtol(env, &end, 10);
-      SRUMMA_REQUIRE(end != env && *end == '\0' && v >= 1 && v <= 64,
-                     "SRUMMA_LOOKAHEAD must be an integer in [1, 64]");
-      tuned.lookahead = static_cast<int>(v);
-    } else {
-      const MachineModel& mm = me.machine();
-      index_t est_rows =
-          std::max({c.block_rows(me.id()), c.block_cols(me.id()),
-                    index_t{1}});
-      if (tuned.c_chunk > 0) est_rows = std::min(est_rows, tuned.c_chunk);
-      const double patch_bytes =
-          static_cast<double>(est_rows) *
-          static_cast<double>(std::max<index_t>(tuned.k_chunk, 1)) *
-          static_cast<double>(sizeof(double));
-      tuned.lookahead = std::clamp(
-          static_cast<int>(
-              std::ceil(mm.net_latency * mm.net_bw / patch_bytes)),
-          1, 8);
-    }
-  }
-
-  if (tuned.max_buffer_bytes > 0) {
-    // Shrink the tiling until (lookahead+2) A patches + (lookahead+1) B
-    // patches of the worst-case extents fit the budget.  Patch extents are
-    // bounded by (c_chunk x k_chunk), so halve both until they fit (floor 8
-    // to keep dgemm calls non-degenerate).
-    const std::uint64_t slots =
-        2 * static_cast<std::uint64_t>(tuned.lookahead) + 3;
-    const index_t m_local = c.block_rows(me.id());
-    const index_t n_local = c.block_cols(me.id());
-    if (tuned.c_chunk == 0)
-      tuned.c_chunk = std::max<index_t>(m_local, n_local);
-    while (slots * static_cast<std::uint64_t>(
-                       std::min(tuned.c_chunk,
-                                std::max(m_local, n_local))) *
-                   static_cast<std::uint64_t>(tuned.k_chunk) * sizeof(double) >
-               tuned.max_buffer_bytes &&
-           (tuned.c_chunk > 8 || tuned.k_chunk > 8)) {
-      if (tuned.c_chunk > 8) tuned.c_chunk = (tuned.c_chunk + 1) / 2;
-      if (tuned.k_chunk > 8) tuned.k_chunk = (tuned.k_chunk + 1) / 2;
-    }
-  }
+  // Auto-tuning (k_chunk, lookahead, buffer-budget shrink) lives in
+  // tune_options so the static analyzer resolves the exact executor
+  // configuration a run would use (src/analysis, docs/ANALYSIS.md).
+  const SrummaOptions tuned = tune_options(me.id(), me.machine(), layout_of(a),
+                                           layout_of(b), layout_of(c), opt);
 
   TaskPlan plan = build_task_plan(me, a, b, c, tuned);
   const int lookahead = opt.nonblocking ? tuned.lookahead : 0;

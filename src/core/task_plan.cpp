@@ -2,11 +2,54 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <map>
 
 #include "util/error.hpp"
 
 namespace srumma {
+
+bool MatrixLayout::rect_in_domain(const MachineModel& mm, int rank, index_t i0,
+                                  index_t j0, index_t mi, index_t nj) const {
+  SRUMMA_REQUIRE(i0 >= 0 && j0 >= 0 && mi >= 0 && nj >= 0 && i0 + mi <= m &&
+                     j0 + nj <= n,
+                 "MatrixLayout: rectangle out of range");
+  if (mi == 0 || nj == 0) return true;
+  const int pi_lo = rows.owner(i0);
+  const int pi_hi = rows.owner(i0 + mi - 1);
+  const int pj_lo = cols.owner(j0);
+  const int pj_hi = cols.owner(j0 + nj - 1);
+  for (int pi = pi_lo; pi <= pi_hi; ++pi)
+    for (int pj = pj_lo; pj <= pj_hi; ++pj)
+      if (!mm.same_domain(rank, grid.rank_of(pi, pj))) return false;
+  return true;
+}
+
+std::optional<int> MatrixLayout::single_owner_in_domain(const MachineModel& mm,
+                                                        int rank, index_t i0,
+                                                        index_t j0, index_t mi,
+                                                        index_t nj) const {
+  SRUMMA_REQUIRE(i0 >= 0 && j0 >= 0 && mi >= 0 && nj >= 0 && i0 + mi <= m &&
+                     j0 + nj <= n,
+                 "MatrixLayout: rectangle out of range");
+  if (mi == 0 || nj == 0) return std::nullopt;
+  const int o = owner(i0, j0);
+  if (owner(i0 + mi - 1, j0 + nj - 1) != o) return std::nullopt;
+  if (!mm.same_domain(rank, o)) return std::nullopt;
+  return o;
+}
+
+MatrixLayout layout_of(const DistMatrix& m) {
+  MatrixLayout l;
+  l.m = m.rows();
+  l.n = m.cols();
+  l.grid = m.grid();
+  l.rows = m.row_dist();
+  l.cols = m.col_dist();
+  return l;
+}
 
 std::vector<index_t> k_segment_bounds(const BlockDist1D& a_axis,
                                       const BlockDist1D& b_axis,
@@ -56,10 +99,9 @@ std::vector<index_t> tile_bounds(index_t n, index_t chunk) {
   return bounds;
 }
 
-index_t auto_k_chunk(const DistMatrix& a, const DistMatrix& b, blas::Trans ta,
-                     blas::Trans tb) {
-  const BlockDist1D& a_k = ta == blas::Trans::Yes ? a.row_dist() : a.col_dist();
-  const BlockDist1D& b_k = tb == blas::Trans::Yes ? b.col_dist() : b.row_dist();
+namespace {
+
+index_t auto_k_chunk_axes(const BlockDist1D& a_k, const BlockDist1D& b_k) {
   SRUMMA_REQUIRE(a_k.total() == b_k.total(),
                  "auto_k_chunk: operand K axes disagree");
   const index_t k = a_k.total();
@@ -69,41 +111,129 @@ index_t auto_k_chunk(const DistMatrix& a, const DistMatrix& b, blas::Trans ta,
   return std::clamp<index_t>(k / (4 * k_owners), 64, 512);
 }
 
+}  // namespace
+
+index_t auto_k_chunk(const DistMatrix& a, const DistMatrix& b, blas::Trans ta,
+                     blas::Trans tb) {
+  return auto_k_chunk_axes(
+      ta == blas::Trans::Yes ? a.row_dist() : a.col_dist(),
+      tb == blas::Trans::Yes ? b.col_dist() : b.row_dist());
+}
+
+index_t auto_k_chunk(const MatrixLayout& a, const MatrixLayout& b,
+                     blas::Trans ta, blas::Trans tb) {
+  return auto_k_chunk_axes(ta == blas::Trans::Yes ? a.rows : a.cols,
+                           tb == blas::Trans::Yes ? b.cols : b.rows);
+}
+
+SrummaOptions tune_options(int rank, const MachineModel& mm,
+                           const MatrixLayout& a, const MatrixLayout& b,
+                           const MatrixLayout& c, const SrummaOptions& opt) {
+  SrummaOptions tuned = opt;
+  if (tuned.k_chunk == 0) {
+    // Auto block size derived from the K-axis owner segmentation of the
+    // stored operands (see auto_k_chunk).  This reproduces the paper's
+    // empirically-tuned block size at the model level.
+    tuned.k_chunk = auto_k_chunk(a, b, opt.ta, opt.tb);
+  }
+
+  if (tuned.lookahead == 0) {
+    // Auto prefetch depth: SRUMMA_LOOKAHEAD wins; otherwise keep enough
+    // patches in flight to cover the network's latency-bandwidth product
+    // (one get's payload per slot), so the pipeline never drains while an
+    // issue is still paying t_s.  A patch is roughly (local C extent,
+    // capped by c_chunk) x k_chunk doubles.
+    if (const char* env = std::getenv("SRUMMA_LOOKAHEAD")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      SRUMMA_REQUIRE(end != env && *end == '\0' && v >= 1 && v <= 64,
+                     "SRUMMA_LOOKAHEAD must be an integer in [1, 64]");
+      tuned.lookahead = static_cast<int>(v);
+    } else {
+      index_t est_rows =
+          std::max({c.block_rows(rank), c.block_cols(rank), index_t{1}});
+      if (tuned.c_chunk > 0) est_rows = std::min(est_rows, tuned.c_chunk);
+      const double patch_bytes =
+          static_cast<double>(est_rows) *
+          static_cast<double>(std::max<index_t>(tuned.k_chunk, 1)) *
+          static_cast<double>(sizeof(double));
+      tuned.lookahead = std::clamp(
+          static_cast<int>(
+              std::ceil(mm.net_latency * mm.net_bw / patch_bytes)),
+          1, 8);
+    }
+  }
+
+  if (tuned.max_buffer_bytes > 0) {
+    // Shrink the tiling until (lookahead+2) A patches + (lookahead+1) B
+    // patches of the worst-case extents fit the budget.  Patch extents are
+    // bounded by (c_chunk x k_chunk), so halve both until they fit (floor 8
+    // to keep dgemm calls non-degenerate).
+    const std::uint64_t slots =
+        2 * static_cast<std::uint64_t>(tuned.lookahead) + 3;
+    const index_t m_local = c.block_rows(rank);
+    const index_t n_local = c.block_cols(rank);
+    if (tuned.c_chunk == 0)
+      tuned.c_chunk = std::max<index_t>(m_local, n_local);
+    while (slots * static_cast<std::uint64_t>(
+                       std::min(tuned.c_chunk,
+                                std::max(m_local, n_local))) *
+                   static_cast<std::uint64_t>(tuned.k_chunk) * sizeof(double) >
+               tuned.max_buffer_bytes &&
+           (tuned.c_chunk > 8 || tuned.k_chunk > 8)) {
+      if (tuned.c_chunk > 8) tuned.c_chunk = (tuned.c_chunk + 1) / 2;
+      if (tuned.k_chunk > 8) tuned.k_chunk = (tuned.k_chunk + 1) / 2;
+    }
+  }
+  return tuned;
+}
+
 TaskPlan build_task_plan(Rank& me, const DistMatrix& a, const DistMatrix& b,
                          const DistMatrix& c, const SrummaOptions& opt) {
+  // Delegate to the metadata-only builder: DistMatrix's ownership and
+  // domain queries are pure functions of the layout and machine (its
+  // rect_in_domain asks RmaRuntime::same_domain, which delegates to the
+  // machine model), so this produces the identical plan.
+  return build_task_plan(me.id(), me.machine(), layout_of(a), layout_of(b),
+                         layout_of(c), opt);
+}
+
+TaskPlan build_task_plan(int rank, const MachineModel& mm,
+                         const MatrixLayout& a, const MatrixLayout& b,
+                         const MatrixLayout& c, const SrummaOptions& opt) {
   const bool tra = opt.ta == blas::Trans::Yes;
   const bool trb = opt.tb == blas::Trans::Yes;
 
   // Conformance: op(A) is m x k, op(B) is k x n, C is m x n.
-  const index_t m = c.rows();
-  const index_t n = c.cols();
-  const index_t k = tra ? a.rows() : a.cols();
-  SRUMMA_REQUIRE((tra ? a.cols() : a.rows()) == m,
+  const index_t m = c.m;
+  const index_t n = c.n;
+  const index_t k = tra ? a.m : a.n;
+  SRUMMA_REQUIRE((tra ? a.n : a.m) == m,
                  "srumma: op(A) row count must match C rows");
-  SRUMMA_REQUIRE((trb ? b.rows() : b.cols()) == n,
+  SRUMMA_REQUIRE((trb ? b.m : b.n) == n,
                  "srumma: op(B) column count must match C cols");
-  SRUMMA_REQUIRE((trb ? b.cols() : b.rows()) == k,
+  SRUMMA_REQUIRE((trb ? b.n : b.m) == k,
                  "srumma: op(A) and op(B) inner dimensions must conform");
 
   // K axis distributions of the stored matrices.
-  const BlockDist1D& a_k_axis = tra ? a.row_dist() : a.col_dist();
-  const BlockDist1D& b_k_axis = trb ? b.col_dist() : b.row_dist();
+  const BlockDist1D& a_k_axis = tra ? a.rows : a.cols;
+  const BlockDist1D& b_k_axis = trb ? b.cols : b.rows;
 
   const std::vector<index_t> ks =
       k_segment_bounds(a_k_axis, b_k_axis, opt.k_chunk);
 
   // My C block in global coordinates.
-  const index_t r0 = c.block_row_start(me.id());
-  const index_t c0 = c.block_col_start(me.id());
-  const index_t cm_all = c.block_rows(me.id());
-  const index_t cn_all = c.block_cols(me.id());
+  const index_t r0 = c.block_row_start(rank);
+  const index_t c0 = c.block_col_start(rank);
+  const index_t cm_all = c.block_rows(rank);
+  const index_t cn_all = c.block_cols(rank);
   const std::vector<index_t> is = tile_bounds(cm_all, opt.c_chunk);
   const std::vector<index_t> js = tile_bounds(cn_all, opt.c_chunk);
 
   TaskPlan plan;
   plan.k_total = k;
 
-  auto emit = [&](index_t ti, index_t tj, std::size_t s) {
+  auto emit = [&](std::size_t ti, std::size_t tj, std::size_t s) {
     Task t;
     t.ci = is[ti];
     t.cm = is[ti + 1] - is[ti];
@@ -127,11 +257,11 @@ TaskPlan build_task_plan(Rank& me, const DistMatrix& a, const DistMatrix& b,
     } else {
       t.b_i0 = t.k0; t.b_j0 = gj; t.b_m = t.kk; t.b_n = t.cn;
     }
-    t.a_in_domain = a.rect_in_domain(me, t.a_i0, t.a_j0, t.a_m, t.a_n);
-    t.b_in_domain = b.rect_in_domain(me, t.b_i0, t.b_j0, t.b_m, t.b_n);
+    t.a_in_domain = a.rect_in_domain(mm, rank, t.a_i0, t.a_j0, t.a_m, t.a_n);
+    t.b_in_domain = b.rect_in_domain(mm, rank, t.b_i0, t.b_j0, t.b_m, t.b_n);
     t.a_owner = a.owner(t.a_i0, t.a_j0);
     t.b_owner = b.owner(t.b_i0, t.b_j0);
-    t.a_owner_col = a.grid().coords_of(t.a_owner).second;
+    t.a_owner_col = a.grid.coords_of(t.a_owner).second;
 
     plan.max_a_m = std::max(plan.max_a_m, t.a_m);
     plan.max_a_n = std::max(plan.max_a_n, t.a_n);
@@ -146,16 +276,16 @@ TaskPlan build_task_plan(Rank& me, const DistMatrix& a, const DistMatrix& b,
     for (std::size_t ti = 0; ti + 1 < is.size(); ++ti)
       for (std::size_t s = 0; s < nseg; ++s)
         for (std::size_t tj = 0; tj + 1 < js.size(); ++tj)
-          emit(static_cast<index_t>(ti), static_cast<index_t>(tj), s);
+          emit(ti, tj, s);
   } else {
     for (std::size_t ti = 0; ti + 1 < is.size(); ++ti)
       for (std::size_t tj = 0; tj + 1 < js.size(); ++tj)
         for (std::size_t s = 0; s < nseg; ++s)
-          emit(static_cast<index_t>(ti), static_cast<index_t>(tj), s);
+          emit(ti, tj, s);
   }
 
   order_tasks(plan.tasks, opt.ordering,
-              c.grid().coords_of(me.id()).first % a.grid().q);
+              c.grid.coords_of(rank).first % a.grid.q);
   return plan;
 }
 

@@ -112,7 +112,9 @@ class TeamEngineGuard {
   TeamEngineGuard(const TeamEngineGuard&) = delete;
   TeamEngineGuard& operator=(const TeamEngineGuard&) = delete;
 
-  [[nodiscard]] DomainBoard& domain(int d) { return *eng_->domains[d]; }
+  [[nodiscard]] DomainBoard& domain(int d) {
+    return *eng_->domains[static_cast<std::size_t>(d)];
+  }
 
  private:
   Team* team_;
@@ -147,6 +149,36 @@ void copy_tile(MatrixView dst, ConstMatrixView src) {
 
 }  // namespace
 
+ChainLayout chain_layout(const TaskPlan& plan) {
+  const std::vector<Task>& tasks = plan.tasks;
+  const std::size_t n_tasks = tasks.size();
+  ChainLayout cl;
+  cl.task_tile.resize(n_tasks);
+  cl.task_pos.resize(n_tasks);
+  std::map<std::pair<index_t, index_t>, int> tile_of;
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    const auto key = std::make_pair(tasks[i].ci, tasks[i].cj);
+    const auto [it, fresh] =
+        tile_of.try_emplace(key, static_cast<int>(cl.tile_tasks.size()));
+    if (fresh) cl.tile_tasks.emplace_back();
+    cl.task_tile[i] = it->second;
+    cl.task_pos[i] =
+        static_cast<int>(cl.tile_tasks[static_cast<std::size_t>(it->second)]
+                             .size());
+    cl.tile_tasks[static_cast<std::size_t>(it->second)].push_back(i);
+  }
+  return cl;
+}
+
+std::vector<std::size_t> stealable_tasks(const TaskPlan& plan,
+                                         int domain_size) {
+  std::vector<std::size_t> out;
+  if (domain_size <= 1) return out;
+  for (std::size_t i = 0; i < plan.tasks.size(); ++i)
+    if (!plan.tasks[i].in_domain()) out.push_back(i);
+  return out;
+}
+
 bool selected(EngineMode mode) {
   if (mode == EngineMode::On) return true;
   if (mode == EngineMode::Off) return false;
@@ -169,20 +201,13 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
   // -- task graph setup ------------------------------------------------------
   // Group tasks by C tile; each tile's products commit in plan order (the
   // bitwise-identity invariant), execution order across tiles is free.
-  std::map<std::pair<index_t, index_t>, int> tile_of;
-  std::vector<std::vector<std::size_t>> tile_tasks;
-  std::vector<int> task_tile(n_tasks);
-  std::vector<int> task_pos(n_tasks);
-  for (std::size_t i = 0; i < n_tasks; ++i) {
-    const auto key = std::make_pair(tasks[i].ci, tasks[i].cj);
-    const auto [it, fresh] =
-        tile_of.try_emplace(key, static_cast<int>(tile_tasks.size()));
-    if (fresh) tile_tasks.emplace_back();
-    task_tile[i] = it->second;
-    task_pos[i] = static_cast<int>(tile_tasks[it->second].size());
-    tile_tasks[it->second].push_back(i);
-  }
-  const int n_tiles = static_cast<int>(tile_tasks.size());
+  // chain_layout is shared with the static analyzer, which certifies these
+  // chains acyclic and deadlock-free before any run (docs/ANALYSIS.md).
+  const ChainLayout chains = chain_layout(plan);
+  const std::vector<std::vector<std::size_t>>& tile_tasks = chains.tile_tasks;
+  const std::vector<int>& task_tile = chains.task_tile;
+  const std::vector<int>& task_pos = chains.task_pos;
+  const int n_tiles = chains.tiles();
 
   // Operand slots, deduplicated by patch identity: the task graph hands
   // each distinct patch one owner, shared by every consumer and released
@@ -227,21 +252,18 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
   board->commits.assign(static_cast<std::size_t>(n_tiles), 0);
   board->commit_vt.assign(static_cast<std::size_t>(n_tiles), 0.0);
   std::vector<std::ptrdiff_t> desc_of_task(n_tasks, -1);
-  if (mm.domain_size() > 1) {
-    for (std::size_t i = 0; i < n_tasks; ++i) {
-      if (tasks[i].in_domain()) continue;
-      StolenTask d;
-      d.task = tasks[i];
-      d.task_idx = i;
-      d.victim = me.id();
-      d.tile = task_tile[i];
-      d.pos = task_pos[i];
-      if (!phantom)
-        d.c_tile = c.local_view(me).block(tasks[i].ci, tasks[i].cj,
-                                          tasks[i].cm, tasks[i].cn);
-      desc_of_task[i] = static_cast<std::ptrdiff_t>(board->descs.size());
-      board->descs.push_back(std::move(d));
-    }
+  for (const std::size_t i : stealable_tasks(plan, mm.domain_size())) {
+    StolenTask d;
+    d.task = tasks[i];
+    d.task_idx = i;
+    d.victim = me.id();
+    d.tile = task_tile[i];
+    d.pos = task_pos[i];
+    if (!phantom)
+      d.c_tile = c.local_view(me).block(tasks[i].ci, tasks[i].cj,
+                                        tasks[i].cm, tasks[i].cn);
+    desc_of_task[i] = static_cast<std::ptrdiff_t>(board->descs.size());
+    board->descs.push_back(std::move(d));
   }
   {
     std::lock_guard<std::mutex> lk(dom.mu);

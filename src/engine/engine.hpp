@@ -30,6 +30,9 @@
 // engine run may vary run to run; the C result is structurally bitwise
 // deterministic.  Tests that compare timings pin EngineMode::Off.
 
+#include <cstddef>
+#include <vector>
+
 #include "core/options.hpp"
 #include "core/task_plan.hpp"
 #include "dist/dist_matrix.hpp"
@@ -39,6 +42,27 @@ namespace srumma::engine {
 /// Resolve the tri-state engine option: On/Off are explicit; Auto defers to
 /// the SRUMMA_ENGINE environment variable (unset, empty or "0" = Off).
 [[nodiscard]] bool selected(EngineMode mode);
+
+/// The commit-chain structure of a plan: tasks grouped by C tile, each
+/// tile's products committing in plan order (the bitwise-identity
+/// invariant).  Exported so the static analyzer (src/analysis) audits the
+/// exact chains run_plan executes — both call chain_layout, so the static
+/// model and the executor cannot drift.
+struct ChainLayout {
+  std::vector<int> task_tile;  ///< plan index -> tile id
+  std::vector<int> task_pos;   ///< plan index -> position in its tile chain
+  std::vector<std::vector<std::size_t>> tile_tasks;  ///< tile -> plan indices
+  [[nodiscard]] int tiles() const {
+    return static_cast<int>(tile_tasks.size());
+  }
+};
+
+[[nodiscard]] ChainLayout chain_layout(const TaskPlan& plan);
+
+/// Plan indices run_plan posts on the domain steal board: tasks with an
+/// out-of-domain operand, on machines with more than one rank per domain.
+[[nodiscard]] std::vector<std::size_t> stealable_tasks(const TaskPlan& plan,
+                                                       int domain_size);
 
 /// Execute one rank's task plan through the engine.  Called from
 /// srumma_multiply after tuning, plan construction and the beta pre-scale;

@@ -361,7 +361,9 @@ void Comm::bcast(Rank& me, const std::vector<int>& group, int root,
   if (n == 1) return;
   const int root_idx = static_cast<int>(group_index(group, root));
   const int vrank = (my_idx - root_idx + n) % n;
-  auto abs_rank = [&](int v) { return group[(v + root_idx) % n]; };
+  auto abs_rank = [&](int v) {
+    return group[static_cast<std::size_t>((v + root_idx) % n)];
+  };
 
   // Binomial tree: receive from the parent, then forward to children.
   int mask = 1;
@@ -391,7 +393,9 @@ void Comm::reduce_sum(Rank& me, const std::vector<int>& group, int root,
   if (n == 1) return;
   const int root_idx = static_cast<int>(group_index(group, root));
   const int vrank = (my_idx - root_idx + n) % n;
-  auto abs_rank = [&](int v) { return group[(v + root_idx) % n]; };
+  auto abs_rank = [&](int v) {
+    return group[static_cast<std::size_t>((v + root_idx) % n)];
+  };
 
   std::vector<double> tmp;
   if (buf != nullptr) tmp.resize(elems);

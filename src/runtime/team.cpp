@@ -52,8 +52,9 @@ void Rank::consume_cpu(double dt) {
   // are exactly reproducible and ranks are decorrelated — which is what
   // makes bulk-synchronous codes pay the max over ranks at every step.
   auto next_gap = [this, &mm] {
-    std::uint64_t x = static_cast<std::uint64_t>(id_) * 0x9e3779b97f4a7c15ULL +
-                      ++noise_seq_ * 0xbf58476d1ce4e5b9ULL;
+    std::uint64_t x =
+        static_cast<std::uint64_t>(id_) * std::uint64_t{0x9e3779b97f4a7c15} +
+        ++noise_seq_ * std::uint64_t{0xbf58476d1ce4e5b9};
     x ^= x >> 30;
     x *= 0x94d049bb133111ebULL;
     x ^= x >> 27;

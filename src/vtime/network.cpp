@@ -5,8 +5,8 @@
 namespace srumma {
 
 NetworkState::NetworkState(const MachineModel& machine) {
-  nic_out_.reserve(machine.num_nodes);
-  nic_in_.reserve(machine.num_nodes);
+  nic_out_.reserve(static_cast<std::size_t>(machine.num_nodes));
+  nic_in_.reserve(static_cast<std::size_t>(machine.num_nodes));
   for (int n = 0; n < machine.num_nodes; ++n) {
     nic_out_.push_back(std::make_unique<Resource>());
     nic_in_.push_back(std::make_unique<Resource>());
@@ -19,19 +19,19 @@ NetworkState::NetworkState(const MachineModel& machine) {
 Resource& NetworkState::nic_out(int node) {
   SRUMMA_REQUIRE(node >= 0 && node < static_cast<int>(nic_out_.size()),
                  "nic_out: node out of range");
-  return *nic_out_[node];
+  return *nic_out_[static_cast<std::size_t>(node)];
 }
 
 Resource& NetworkState::nic_in(int node) {
   SRUMMA_REQUIRE(node >= 0 && node < static_cast<int>(nic_in_.size()),
                  "nic_in: node out of range");
-  return *nic_in_[node];
+  return *nic_in_[static_cast<std::size_t>(node)];
 }
 
 Resource& NetworkState::domain_mem(int domain) {
   SRUMMA_REQUIRE(domain >= 0 && domain < static_cast<int>(domain_mem_.size()),
                  "domain_mem: domain out of range");
-  return *domain_mem_[domain];
+  return *domain_mem_[static_cast<std::size_t>(domain)];
 }
 
 void NetworkState::reset() {

@@ -118,12 +118,12 @@ TEST(CyclicMatrix, FetchRandomRectangles) {
     CyclicMatrix x(env.rma, me, 19, 17, 3, 4, ProcGrid{2, 2});
     x.scatter_from(me, global.view());
     me.barrier();
-    Rng rng(777 + me.id());
+    Rng rng(static_cast<std::uint64_t>(777 + me.id()));
     for (int trial = 0; trial < 15; ++trial) {
       const index_t i0 = static_cast<index_t>(rng.below(19));
       const index_t j0 = static_cast<index_t>(rng.below(17));
-      const index_t mi = 1 + static_cast<index_t>(rng.below(19 - i0));
-      const index_t nj = 1 + static_cast<index_t>(rng.below(17 - j0));
+      const index_t mi = 1 + static_cast<index_t>(rng.below(static_cast<std::uint64_t>(19 - i0)));
+      const index_t nj = 1 + static_cast<index_t>(rng.below(static_cast<std::uint64_t>(17 - j0)));
       Matrix dst(mi, nj);
       auto handles = x.fetch_nb(me, i0, j0, mi, nj, dst.view());
       x.wait(me, handles);

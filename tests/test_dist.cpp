@@ -134,12 +134,12 @@ TEST(DistMatrix, FetchArbitraryRectangles) {
     DistMatrix x(env.rma, me, 23, 19, ProcGrid{2, 3});
     x.fill_coords_local(me);
     me.barrier();
-    Rng rng(1000 + me.id());
+    Rng rng(static_cast<std::uint64_t>(1000 + me.id()));
     for (int trial = 0; trial < 25; ++trial) {
       const index_t i0 = static_cast<index_t>(rng.below(23));
       const index_t j0 = static_cast<index_t>(rng.below(19));
-      const index_t mi = 1 + static_cast<index_t>(rng.below(23 - i0));
-      const index_t nj = 1 + static_cast<index_t>(rng.below(19 - j0));
+      const index_t mi = 1 + static_cast<index_t>(rng.below(static_cast<std::uint64_t>(23 - i0)));
+      const index_t nj = 1 + static_cast<index_t>(rng.below(static_cast<std::uint64_t>(19 - j0)));
       Matrix dst(mi, nj);
       PatchHandle h = x.fetch_nb(me, i0, j0, mi, nj, dst.view());
       x.wait(me, h);

@@ -122,7 +122,9 @@ TEST(Integration, NonblockingAndZeroCopyBothMatter) {
   double t[2][2];  // [nonblocking][zero_copy]
   for (int nb = 0; nb < 2; ++nb) {
     for (int zc = 0; zc < 2; ++zc) {
-      RmaRuntime rma(team, RmaConfig{.zero_copy = zc == 1});
+      RmaConfig rc;
+      rc.zero_copy = zc == 1;
+      RmaRuntime rma(team, rc);
       SrummaOptions opt;
       opt.nonblocking = nb == 1;
       t[nb][zc] = run_srumma(team, rma, n, g, opt).elapsed;

@@ -23,7 +23,7 @@ TEST(Stress, ManyToManyMessageStorm) {
   constexpr int kMsgs = 8;
   team.run([&](Rank& me) {
     const int p = team.size();
-    Rng rng(500 + me.id());
+    Rng rng(static_cast<std::uint64_t>(500 + me.id()));
     // Post all receives first (wildcard-free: exact src/tag).
     std::vector<RecvHandle> handles;
     std::vector<std::vector<double>> bufs;
@@ -101,12 +101,12 @@ TEST(Stress, ConcurrentGetsFromOneOwner) {
     MatrixView mine(region.base(me.id()), 32, 32, 32);
     fill_coords(mine, me.id() * 32, 0);
     me.barrier();
-    Rng rng(900 + me.id());
+    Rng rng(static_cast<std::uint64_t>(900 + me.id()));
     for (int trial = 0; trial < 40; ++trial) {
       const index_t i0 = static_cast<index_t>(rng.below(28));
       const index_t j0 = static_cast<index_t>(rng.below(28));
-      const index_t rows = 1 + static_cast<index_t>(rng.below(32 - i0));
-      const index_t cols = 1 + static_cast<index_t>(rng.below(32 - j0));
+      const index_t rows = 1 + static_cast<index_t>(rng.below(static_cast<std::uint64_t>(32 - i0)));
+      const index_t cols = 1 + static_cast<index_t>(rng.below(static_cast<std::uint64_t>(32 - j0)));
       Matrix dst(rows, cols);
       RmaHandle h = rma.nbget2d(me, 0, region.base(0) + i0 + j0 * 32, 32,
                                 rows, cols, dst.data(), dst.ld());
@@ -160,10 +160,10 @@ TEST(Stress, RandomizedSrummaConfigsAgainstOracle) {
     RmaRuntime rma(team);
     Matrix a_g(tra ? k : m, tra ? m : k);
     Matrix b_g(trb ? n : k, trb ? k : n);
-    fill_random(a_g.view(), 10 + trial);
-    fill_random(b_g.view(), 20 + trial);
+    fill_random(a_g.view(), static_cast<std::uint64_t>(10 + trial));
+    fill_random(b_g.view(), static_cast<std::uint64_t>(20 + trial));
     Matrix c_init(m, n);
-    fill_random(c_init.view(), 30 + trial);
+    fill_random(c_init.view(), static_cast<std::uint64_t>(30 + trial));
     Matrix c_ref = c_init;
     testing::reference_gemm(opt.ta, opt.tb, opt.alpha, a_g, b_g, opt.beta,
                             c_ref);

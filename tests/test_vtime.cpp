@@ -93,7 +93,9 @@ TEST(Resource, ConservesThroughputUnderContention) {
   std::vector<std::thread> ts;
   std::vector<double> done(kN);
   for (int i = 0; i < kN; ++i)
-    ts.emplace_back([&r, &done, i] { done[i] = r.book(0.0, 0.5); });
+    ts.emplace_back([&r, &done, i] {
+      done[static_cast<std::size_t>(i)] = r.book(0.0, 0.5);
+    });
   for (auto& t : ts) t.join();
   double last = 0.0;
   for (double d : done) last = std::max(last, d);
