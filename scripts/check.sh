@@ -28,12 +28,16 @@
 #       operand-slot dedup legitimately changes);
 #   1h. the static plan analyzer (docs/ANALYSIS.md): srumma-analyze must
 #       certify a sweep of clean configurations with zero findings, flag
-#       all four seeded plan-mutation classes, and cross-validate the
+#       all five seeded plan-mutation classes, and cross-validate the
 #       dynamic RMA checker on journaled runs of both executors via the
 #       happens-before race detector (--trace);
+#   1i. permanent domain death (docs/FAULTS.md §7): every kill point x
+#       executor through the SRUMMA_FAULT_KILL_* environment knobs under
+#       the RMA checker — buddy replication + task adoption must recover
+#       the exact result with zero checker diagnostics;
 #   2.  a TSan build running the concurrency-heavy suites
 #       (test_rma, test_runtime, test_srumma, test_rma_checker,
-#       test_block_cache, test_engine);
+#       test_block_cache, test_engine, test_chaos);
 #   3.  static analysis via scripts/lint.sh.
 #
 # Usage: scripts/check.sh [build-dir] [asan-build-dir] [tsan-build-dir]
@@ -193,14 +197,14 @@ done
 echo "analyzer: ${#clean_configs[@]} clean configurations certified"
 # Negative tests: every seeded mutation class must be flagged (nonzero
 # exit).  A mutation slipping through means the analyzer lost coverage.
-for mut in drop-wait reorder-commit widen-get alias-scratch; do
+for mut in drop-wait reorder-commit widen-get alias-scratch adopt-chain; do
   if "$analyze" --machine cluster --nodes 2 --flavor copy \
       --m 96 --n 96 --k 96 --k-chunk 24 --mutate "$mut" > /dev/null 2>&1; then
     echo "check.sh: analyzer missed seeded mutation: $mut"
     exit 1
   fi
 done
-echo "analyzer: all 4 seeded mutation classes flagged"
+echo "analyzer: all 5 seeded mutation classes flagged"
 # Happens-before cross-validation: journal real runs of both executors
 # under the dynamic checker, then prove the epoch-based checker missed no
 # race the HB model finds (srumma-analyze --trace exits nonzero on a miss).
@@ -214,6 +218,27 @@ SRUMMA_RMA_JOURNAL="$trace_dir/journal_engine.jsonl" \
 echo "analyzer: HB race detector cross-validated both executors' journals"
 
 echo
+echo "== tier 1i: permanent-kill sweep under the RMA checker =="
+# Every kill point x executor through the SRUMMA_FAULT_* environment path
+# (docs/FAULTS.md §7): domain 1 of a 4-node cluster fail-stops mid-run,
+# survivors adopt its work from the buddy replicas, and quickstart's
+# serial-reference comparison proves the recovered C exact while the
+# shadow-state checker proves the recovery epochs race-free.  The
+# pipeline x steal arm is the deliberate no-op (the pipeline never
+# steals, so that kill never trips and the run stays fault-free).
+for point in prefetch chain steal barrier; do
+  for engine in 0 1; do
+    SRUMMA_ENGINE="$engine" SRUMMA_RMA_CHECK=1 \
+    SRUMMA_FAULT_KILL_DOMAIN=1 SRUMMA_FAULT_KILL_POINT="$point" \
+    SRUMMA_FAULT_BUDDY_OFFSET=1 \
+      "$build/examples/quickstart" --n 96 --nodes 4 > /dev/null \
+      || { echo "check.sh: kill sweep failed: point=$point engine=$engine"
+           exit 1; }
+  done
+done
+echo "kill sweep: 4 points x 2 executors recovered exactly, checker silent"
+
+echo
 echo "== tier 2: concurrency suites under TSan ($tsan_build) =="
 cmake -B "$tsan_build" -S "$repo" \
   -DSRUMMA_SANITIZE=thread \
@@ -221,11 +246,12 @@ cmake -B "$tsan_build" -S "$repo" \
   -DSRUMMA_BUILD_EXAMPLES=OFF
 cmake --build "$tsan_build" -j "$jobs" \
   --target test_rma --target test_runtime --target test_srumma \
-  --target test_rma_checker --target test_block_cache --target test_engine
+  --target test_rma_checker --target test_block_cache --target test_engine \
+  --target test_chaos
 # halt_on_error: a data race must fail the suite, not just print.
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
   ctest --test-dir "$tsan_build" --output-on-failure \
-  -R '^(test_rma|test_runtime|test_srumma|test_rma_checker|test_block_cache|test_engine)$'
+  -R '^(test_rma|test_runtime|test_srumma|test_rma_checker|test_block_cache|test_engine|test_chaos)$'
 
 echo
 echo "== tier 3: static analysis (scripts/lint.sh) =="

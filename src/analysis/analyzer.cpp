@@ -422,6 +422,43 @@ void check_chains(const RankModel& rm, std::vector<Finding>& out) {
               std::to_string(seen[i]) + " times across the commit chains");
 }
 
+// Adopted chains (the recovery model of docs/FAULTS.md §7): when a
+// survivor adopts a dead rank's C tile it promises to replay that tile's
+// commit chain exactly as the dead rank's own chain_layout grouped it —
+// any other order changes the accumulation order and the recovered tile
+// loses bitwise identity with the fault-free run.  Clean models adopt
+// nothing, so every entry here came from the adopt-chain mutation and the
+// analyzer must prove the replay order wrong (or the reference invalid).
+void check_adopted_chains(const PlanModel& pm, const RankModel& rm,
+                          std::vector<Finding>& out) {
+  for (const RankModel::AdoptedChain& ac : rm.adopted_chains) {
+    if (ac.dead_rank < 0 ||
+        static_cast<std::size_t>(ac.dead_rank) >= pm.ranks.size() ||
+        ac.dead_rank == rm.rank) {
+      add(out, FindingKind::CommitChain, std::nullopt, rm.rank, -1,
+          "adopted chain names an invalid dead rank " +
+              std::to_string(ac.dead_rank));
+      continue;
+    }
+    const RankModel& dead = pm.ranks[static_cast<std::size_t>(ac.dead_rank)];
+    if (ac.tile >= dead.chains.tile_tasks.size()) {
+      add(out, FindingKind::CommitChain, std::nullopt, rm.rank, -1,
+          "adopted chain names tile " + std::to_string(ac.tile) +
+              " which dead rank " + std::to_string(ac.dead_rank) +
+              " does not own");
+      continue;
+    }
+    if (ac.task_idxs != dead.chains.tile_tasks[ac.tile])
+      add(out, FindingKind::CommitChain, std::nullopt, rm.rank, -1,
+          "rank " + std::to_string(rm.rank) + " adopts dead rank " +
+              std::to_string(ac.dead_rank) + "'s tile " +
+              std::to_string(ac.tile) +
+              " but replays its commit chain out of plan order — the "
+              "recovered tile would not be bitwise identical to the "
+              "fault-free run");
+  }
+}
+
 // ---------------------------------------------------------------------------
 // 4. Steal-protocol fixpoint.
 //
@@ -729,6 +766,7 @@ AnalysisReport analyze(const PlanModel& pm) {
 
     check_plan_shape(pm, rm, rep.findings);
     check_chains(rm, rep.findings);
+    check_adopted_chains(pm, rm, rep.findings);
     check_scratch_alias(pm, rm, rep.findings);
     const ReplayResult rr = pipeline_replay(pm, rm, rep.findings);
     replay_peak_bytes = std::max(replay_peak_bytes, rr.peak_bytes);

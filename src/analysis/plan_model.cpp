@@ -75,6 +75,7 @@ const char* mutation_name(Mutation m) {
     case Mutation::ReorderCommit: return "reorder-commit";
     case Mutation::WidenGetWindow: return "widen-get";
     case Mutation::AliasStealScratch: return "alias-scratch";
+    case Mutation::AdoptChain: return "adopt-chain";
   }
   return "?";
 }
@@ -84,6 +85,7 @@ std::optional<Mutation> mutation_from_name(std::string_view s) {
   if (s == "reorder-commit") return Mutation::ReorderCommit;
   if (s == "widen-get") return Mutation::WidenGetWindow;
   if (s == "alias-scratch") return Mutation::AliasStealScratch;
+  if (s == "adopt-chain") return Mutation::AdoptChain;
   return std::nullopt;
 }
 
@@ -181,6 +183,37 @@ std::string mutate_plan(PlanModel& pm, Mutation mut, std::uint64_t seed) {
       return "alias-scratch: rank " + std::to_string(r) +
              "'s stealable task " + std::to_string(i) +
              " hands thieves a scratch aliased onto its live C tile";
+    }
+
+    case Mutation::AdoptChain: {
+      // Recovery-side fault (docs/FAULTS.md §7): a survivor adopts a dead
+      // rank's C tile but replays its commit chain out of plan order —
+      // the accumulation order changes, so the recovered tile is no
+      // longer bitwise identical to the fault-free run.  Needs a second
+      // rank to play the survivor and a chain with two links to swap.
+      std::vector<std::pair<std::size_t, std::size_t>> sites;  // (dead, tile)
+      for (std::size_t r = 0; r < pm.ranks.size(); ++r) {
+        const auto& tiles = pm.ranks[r].chains.tile_tasks;
+        for (std::size_t t = 0; t < tiles.size(); ++t)
+          if (tiles[t].size() >= 2) sites.emplace_back(r, t);
+      }
+      SRUMMA_REQUIRE(pm.ranks.size() >= 2 && !sites.empty(),
+                     "mutate_plan: adopt-chain needs a surviving rank and a "
+                     "dead-rank commit chain with two links");
+      const auto [dead, tile] = sites[pick(sites.size())];
+      std::size_t adopter = pick(pm.ranks.size() - 1);
+      if (adopter >= dead) ++adopter;
+      RankModel::AdoptedChain ac;
+      ac.dead_rank = static_cast<int>(dead);
+      ac.tile = tile;
+      ac.task_idxs = pm.ranks[dead].chains.tile_tasks[tile];
+      const std::size_t p = pick(ac.task_idxs.size() - 1);
+      std::swap(ac.task_idxs[p], ac.task_idxs[p + 1]);
+      pm.ranks[adopter].adopted_chains.push_back(std::move(ac));
+      return "adopt-chain: rank " + std::to_string(adopter) +
+             " adopts dead rank " + std::to_string(dead) + "'s tile " +
+             std::to_string(tile) + " chain with links " + std::to_string(p) +
+             " and " + std::to_string(p + 1) + " swapped";
     }
   }
   SRUMMA_REQUIRE(false, "mutate_plan: unknown mutation");

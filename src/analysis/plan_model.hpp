@@ -12,9 +12,11 @@
 // The mutation hooks seed one deliberate protocol fault into a model
 // (negative testing for the analyzer itself): dropping an operand wait,
 // reordering a commit-chain link, widening a get window past its task's
-// footprint, or aliasing a steal scratch buffer onto the victim's live C
-// tile.  srumma-analyze must flag every class and certify clean models
-// with zero findings.
+// footprint, aliasing a steal scratch buffer onto the victim's live C
+// tile, or replaying an adopted dead rank's commit chain out of plan
+// order (the recovery-side analogue of reorder-commit, docs/FAULTS.md §7).
+// srumma-analyze must flag every class and certify clean models with zero
+// findings.
 
 #include <cstdint>
 #include <optional>
@@ -59,6 +61,17 @@ struct RankModel {
   /// Stealable plan indices whose thief scratch buffer aliases the victim's
   /// live C tile instead of fresh storage.
   std::vector<std::size_t> scratch_alias;
+  /// Recovery model (docs/FAULTS.md §7): a dead rank's commit chain this
+  /// rank would adopt and replay from the buddy replica.  `task_idxs` is
+  /// the replay order over the DEAD rank's plan indices; recovery promises
+  /// a bitwise-identical C, which holds only when it equals the dead
+  /// rank's own chain_layout grouping exactly.
+  struct AdoptedChain {
+    int dead_rank = -1;
+    std::size_t tile = 0;  ///< tile index in the dead rank's chain layout
+    std::vector<std::size_t> task_idxs;
+  };
+  std::vector<AdoptedChain> adopted_chains;
 };
 
 struct PlanModel {
@@ -81,6 +94,7 @@ enum class Mutation {
   ReorderCommit,      ///< swap two adjacent commit-chain links
   WidenGetWindow,     ///< grow one get window past the task's footprint
   AliasStealScratch,  ///< thief scratch aliases the victim's live C tile
+  AdoptChain,         ///< survivor replays an adopted chain out of plan order
 };
 
 [[nodiscard]] const char* mutation_name(Mutation m);

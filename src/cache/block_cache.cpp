@@ -63,18 +63,19 @@ void BlockCacheSet::drop_unpinned(Domain& d) {
   }
 }
 
-void BlockCacheSet::begin_epoch(Rank& me, std::uint64_t default_cap) {
+void BlockCacheSet::begin_epoch(Rank& me, std::uint64_t default_cap,
+                                bool keep_warm) {
   Domain& d = domain_for(me);
   std::lock_guard<std::mutex> lock(d.mu);
   if (d.entered == 0) {
-    drop_unpinned(d);
+    if (!keep_warm) drop_unpinned(d);
     d.capacity = cfg_.capacity_bytes != 0 ? cfg_.capacity_bytes : default_cap;
     d.open = true;
   }
   d.entered += 1;
 }
 
-void BlockCacheSet::end_epoch(Rank& me) {
+void BlockCacheSet::end_epoch(Rank& me, bool keep_warm) {
   Domain& d = domain_for(me);
   std::lock_guard<std::mutex> lock(d.mu);
   SRUMMA_REQUIRE(d.left < d.entered, "block cache: end_epoch without begin");
@@ -89,7 +90,7 @@ void BlockCacheSet::end_epoch(Rank& me) {
   // happens before any rank's next-epoch begin_epoch, so `entered` reaches
   // the domain population exactly once per epoch.
   if (d.left == team_.machine().domain_size()) {
-    drop_unpinned(d);
+    if (!keep_warm) drop_unpinned(d);
     d.open = false;
     d.entered = 0;
     d.left = 0;

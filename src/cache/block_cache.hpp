@@ -141,14 +141,26 @@ class BlockCacheSet {
   /// capacity: SRUMMA_CACHE_CAP wins, else the installed config, else
   /// `default_capacity_bytes` (the caller's lookahead-footprint estimate).
   /// Must be called after a team barrier that separates multiplies.
-  void begin_epoch(Rank& me, std::uint64_t default_capacity_bytes);
+  ///
+  /// `keep_warm` skips the stale-entry drop at the open: the recovery
+  /// epoch (docs/FAULTS.md §7) is a CONTINUATION of the multiply it
+  /// follows — A/B stay read-only until the result is collected — so the
+  /// panels survivors already fetched stay servable for adoption replay.
+  /// Must be rank-uniform across the domain (it is decided by the
+  /// rank-uniform "a kill is configured" predicate, never by the racy
+  /// "the kill has tripped" observation).
+  void begin_epoch(Rank& me, std::uint64_t default_capacity_bytes,
+                   bool keep_warm = false);
 
   /// Leave the epoch.  Entries are invalidated once EVERY rank of the
   /// domain has been through the epoch (entered and left) — not when
   /// concurrent occupancy hits zero, because the virtual-time simulation
   /// gives no real-time overlap guarantee between domain mates and the
-  /// modeled savings must not depend on OS scheduling.
-  void end_epoch(Rank& me);
+  /// modeled savings must not depend on OS scheduling.  `keep_warm` (same
+  /// uniformity rule as begin_epoch) retains the entries through the
+  /// close for a recovery epoch to inherit; if none follows (the kill
+  /// never tripped), the next multiply's plain begin_epoch drops them.
+  void end_epoch(Rank& me, bool keep_warm = false);
 
   /// Single-flight acquisition of `key` (which must be at least partly
   /// remote; `remote_bytes` is its modeled inter-node volume).

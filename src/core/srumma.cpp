@@ -4,11 +4,14 @@
 #include <array>
 #include <cmath>
 #include <cstdlib>
+#include <optional>
 
 #include "blas/gemm.hpp"
 #include "cache/block_cache.hpp"
 #include "engine/engine.hpp"
 #include "engine/operand.hpp"
+#include "engine/recovery.hpp"
+#include "fault/fault_plane.hpp"
 #include "trace/tracer.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
@@ -59,6 +62,36 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
   SRUMMA_REQUIRE(tuned.lookahead >= 1 && tuned.lookahead <= 64,
                  "srumma: lookahead must be in [1, 64]");
 
+  // Permanent-failure preparation (docs/FAULTS.md §7): when a kill is
+  // configured, mirror the operand panels and the beta-applied C onto each
+  // rank's buddy domain and deposit the plan for adoption BEFORE arming
+  // the kill hooks — a domain can then never die with unrecoverable state.
+  fault::FaultPlane* fp = me.team().faults();
+  const bool kill_active = fp != nullptr && fp->kill_enabled();
+  std::optional<engine::RecoveryGuard> recovery;
+  if (kill_active) {
+    recovery.emplace(me);
+    // Split-phase mirror of all three matrices: all replica segments are
+    // allocated first (allocation is a collective with a barrier, which no
+    // in-flight get may cross), then the three block gets overlap on the
+    // wire and one publication barrier covers them all.  With beta == 0
+    // the C mirror carries no information (the post-beta snapshot is all
+    // zeros and adoption recomputes every element), so only the replica
+    // segment is allocated.
+    a.replicate_alloc(me);
+    b.replicate_alloc(me);
+    c.replicate_alloc(me);
+    RmaHandle ra = a.replicate_nb(me);
+    RmaHandle rb = b.replicate_nb(me);
+    RmaHandle rc = c.replicate_nb(me, /*mirror=*/tuned.beta != 0.0);
+    a.replicate_finish(me, ra);
+    b.replicate_finish(me, rb);
+    c.replicate_finish(me, rc);
+    me.barrier();
+    recovery->deposit(me, plan, tuned);
+    fp->arm_kills();
+  }
+
   // Executor dispatch: the dependency-driven engine replaces the rest of
   // this function's static pipeline with per-task operand ownership,
   // out-of-order execution across C tiles and intra-domain work stealing
@@ -66,6 +99,7 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
   // C; the engine's modeled timing may vary run to run.
   if (engine::selected(tuned.engine)) {
     engine::run_plan(me, a, b, c, tuned, lookahead, plan);
+    if (recovery) recovery->run(me, a, b, c);
     const index_t em = c.rows();
     const index_t en = c.cols();
     return collect_result(me, start_vt, my_start,
@@ -113,7 +147,20 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
   const std::size_t requeue_cap = 4 * plan.tasks.size() + 16;
   std::size_t requeues = 0;
 
+  // Fail-stop hooks: a configured kill trips at this rank's next prefetch
+  // issue or chain (task) advance; once the domain is killed the rank
+  // becomes a zombie — it stops issuing and executing, drains what is in
+  // flight, and keeps joining collectives.
+  const auto killed_now = [&] {
+    return kill_active && fp->domain_killed(me.domain());
+  };
+
   auto issue = [&](std::size_t t_idx) {
+    if (kill_active) {
+      fp->reach_kill_point(fault::KillPoint::Prefetch, me.domain(),
+                           me.clock().now());
+      if (killed_now()) return;  // fail-stop: no new fetches
+    }
     const Task& t = tasks[t_idx];
     const std::size_t slot = t_idx % n_slots;
     if (trace::Tracer* tr = me.tracer())
@@ -160,11 +207,19 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
 
   std::size_t next_issue = 0;
   for (std::size_t t_idx = 0; t_idx < tasks.size(); ++t_idx) {
+    if (kill_active) {
+      fp->reach_kill_point(fault::KillPoint::Chain, me.domain(),
+                           me.clock().now());
+      if (killed_now()) break;  // fail-stop at a task boundary: drain below
+    }
     // Keep up to `lookahead` tasks in flight beyond the current one.
     while (next_issue < tasks.size() &&
            next_issue <= t_idx + static_cast<std::size_t>(lookahead)) {
       issue(next_issue++);
     }
+    // A Prefetch kill trips inside issue(): this task's operands were never
+    // fetched, so bail to the drain rather than compute on empty slots.
+    if (killed_now()) break;
     // By value: a requeue below push_backs into `tasks`, which may
     // reallocate out from under a reference.
     const Task t = tasks[t_idx];
@@ -233,6 +288,20 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
     }
   }
 
+  if (killed_now()) {
+    // Zombie drain: complete in-flight handles and release cache refs so
+    // the domain's cache/checker state stays balanced; the data (if any) is
+    // discarded.  Tasks this rank never committed are adopted by survivors
+    // from the buddy replicas in the recovery phase below.
+    const auto drain = [&](DistMatrix& mat, OperandState& st) {
+      const bool fetched = st.handle.pending;
+      if (fetched) mat.try_wait(me, st.handle);
+      finish_cache(me, mat, st, fetched, false);
+    };
+    for (OperandState& st : a_state) drain(a, st);
+    for (OperandState& st : b_state) drain(b, st);
+  }
+
   // Pipeline buffer footprint: what the copy-path acquires grew the
   // operand states to (zero when every task ran on direct views).
   {
@@ -247,8 +316,14 @@ MultiplyResult srumma_multiply(Rank& me, DistMatrix& a, DistMatrix& b,
   // Close the cache epoch: the last rank out invalidates the domain's
   // entries (A and B are only guaranteed read-only inside this multiply).
   // collect_result's barriers separate this from the next begin_epoch.
+  // With a kill configured the entries are kept warm through the close:
+  // the recovery epoch that follows is the same read-only quiescent
+  // period, and adoption replays the panels survivors already fetched.
+  // (kill_active is rank-uniform; whether the kill TRIPPED is not yet.)
   for (cache::BlockCacheSet* cset : cache_sets)
-    if (cset != nullptr) cset->end_epoch(me);
+    if (cset != nullptr) cset->end_epoch(me, /*keep_warm=*/kill_active);
+
+  if (recovery) recovery->run(me, a, b, c);
 
   const index_t m = c.rows();
   const index_t n = c.cols();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fault/fault_plane.hpp"
 #include "util/rng.hpp"
 
 namespace srumma {
@@ -29,6 +30,76 @@ DistMatrix::DistMatrix(RmaRuntime& rma, Rank& me, index_t m, index_t n,
 void DistMatrix::destroy(Rank& me) {
   rma_->free_symmetric(me, region_);
   region_ = SymmetricRegion{};
+  if (replica_allocated_) {
+    rma_->free_symmetric(me, replica_);
+    replica_ = SymmetricRegion{};
+    replica_allocated_ = false;
+  }
+}
+
+int DistMatrix::buddy_holder(int rank) const {
+  const MachineModel& mm = rma_->team().machine();
+  fault::FaultPlane* fp = rma_->team().faults();
+  const int ds = mm.domain_size();
+  const int nd = mm.num_domains();
+  const int off = fp != nullptr ? fp->buddy_offset() : 1;
+  return ((rank / ds + off) % nd) * ds + rank % ds;
+}
+
+int DistMatrix::protectee_of(int rank) const {
+  const MachineModel& mm = rma_->team().machine();
+  fault::FaultPlane* fp = rma_->team().faults();
+  const int ds = mm.domain_size();
+  const int nd = mm.num_domains();
+  const int off = fp != nullptr ? fp->buddy_offset() : 1;
+  return ((rank / ds - off % nd + nd) % nd) * ds + rank % ds;
+}
+
+void DistMatrix::replicate(Rank& me) {
+  replicate_alloc(me);
+  RmaHandle h = replicate_nb(me);
+  replicate_finish(me, h);
+  // Publication barrier: nobody's kill hooks are armed until every replica
+  // is in place.
+  me.barrier();
+}
+
+void DistMatrix::replicate_alloc(Rank& me) {
+  fault::FaultPlane* fp = rma_->team().faults();
+  SRUMMA_REQUIRE(fp != nullptr && fp->kill_enabled(),
+                 "replicate: buddy replication needs a fault plane with a "
+                 "permanent kill configured");
+  if (replica_allocated_) return;
+  const int src = protectee_of(me.id());
+  const std::size_t elems =
+      phantom_ ? 0
+               : static_cast<std::size_t>(block_rows(src)) *
+                     static_cast<std::size_t>(block_cols(src));
+  replica_ = rma_->malloc_symmetric(me, elems);  // collective (barrier)
+  replica_allocated_ = true;
+}
+
+RmaHandle DistMatrix::replicate_nb(Rank& me, bool mirror) {
+  SRUMMA_REQUIRE(replica_allocated_,
+                 "replicate_nb: call replicate_alloc first — allocation is a "
+                 "collective with a barrier, and a nonblocking get must not "
+                 "cross it");
+  const int src = protectee_of(me.id());
+  const index_t rm = block_rows(src);
+  const index_t rn = block_cols(src);
+  // Mirror the protectee's whole block into my replica segment — one
+  // inter-domain get per rank, fully accounted (this is the recovery
+  // stack's up-front cost, visible in BENCH_chaos.json).
+  if (mirror && rm > 0 && rn > 0) {
+    const index_t ld = std::max<index_t>(rm, 1);
+    return rma_->nbget2d(me, src, region_.base(src), ld, rm, rn,
+                         replica_.base(me.id()), ld);
+  }
+  return {};
+}
+
+void DistMatrix::replicate_finish(Rank& me, RmaHandle& h) {
+  if (h.pending) rma_->wait(me, h);
 }
 
 index_t DistMatrix::block_row_start(int rank) const {
@@ -118,16 +189,15 @@ void DistMatrix::declare_shared_read(Rank& me, index_t i0, index_t j0,
   check::RmaChecker* ck = rma_->checker();
   if (ck == nullptr || mi <= 0 || nj <= 0) return;
   for_each_piece(i0, j0, mi, nj, [&](const Piece& p) {
-    const auto [pi, pj] = grid_.coords_of(p.owner);
-    const index_t lm = std::max<index_t>(rows_.count(pi), 1);
-    const index_t li = p.gi - rows_.start(pi);
-    const index_t lj = p.gj - cols_.start(pj);
+    // Register at the piece's actual segment (region_ or, after a
+    // dead-domain redirect, the buddy's replica) so the checker tracks the
+    // bytes a cache share really consumed.
     check::Footprint f;
     f.rows = static_cast<std::uint64_t>(p.rows) * sizeof(double);
     f.cols = static_cast<std::uint64_t>(p.cols);
-    f.ld = static_cast<std::uint64_t>(lm) * sizeof(double);
-    f.lo = static_cast<std::uint64_t>(li + lj * lm) * sizeof(double);
-    ck->on_shared_read(me.id(), p.owner, region_.seq, f, site);
+    f.ld = static_cast<std::uint64_t>(p.owner_ld) * sizeof(double);
+    f.lo = static_cast<std::uint64_t>(p.seg_lo) * sizeof(double);
+    ck->on_shared_read(me.id(), p.owner, p.seg_seq, f, site);
   });
 }
 
@@ -148,6 +218,10 @@ bool DistMatrix::rect_in_domain(Rank& me, index_t i0, index_t j0, index_t mi,
 template <typename Fn>
 void DistMatrix::for_each_piece(index_t i0, index_t j0, index_t mi, index_t nj,
                                 Fn&& fn) {
+  fault::FaultPlane* fp = rma_->team().faults();
+  const bool failover =
+      replica_allocated_ && fp != nullptr && fp->any_domain_dead();
+  const MachineModel& mm = rma_->team().machine();
   const int pi_lo = rows_.owner(i0);
   const int pi_hi = rows_.owner(i0 + mi - 1);
   const int pj_lo = cols_.owner(j0);
@@ -161,15 +235,27 @@ void DistMatrix::for_each_piece(index_t i0, index_t j0, index_t mi, index_t nj,
       const index_t ilo = std::max(i0, rs);
       const index_t ihi = std::min(i0 + mi, rs + rows_.count(pi));
       Piece p;
-      p.owner = grid_.rank_of(pi, pj);
+      const int true_owner = grid_.rank_of(pi, pj);
+      p.owner = true_owner;
       p.gi = ilo;
       p.gj = jlo;
       p.rows = ihi - ilo;
       p.cols = jhi - jlo;
       p.owner_ld = std::max<index_t>(rows_.count(pi), 1);
-      double* base = region_.base(p.owner);
-      p.owner_ptr =
-          base == nullptr ? nullptr : base + (ilo - rs) + (jlo - cs) * p.owner_ld;
+      p.seg_lo = (ilo - rs) + (jlo - cs) * p.owner_ld;
+      if (failover && fp->domain_dead(mm.domain_of(true_owner))) {
+        // The owner's domain fail-stopped: serve the piece from the buddy
+        // holder's replica copy.  The replica stores the protectee's whole
+        // block with the same leading dimension, so the offsets carry over.
+        p.owner = buddy_holder(true_owner);
+        p.seg_seq = replica_.seq;
+        double* base = replica_.base(p.owner);
+        p.owner_ptr = base == nullptr ? nullptr : base + p.seg_lo;
+      } else {
+        p.seg_seq = region_.seq;
+        double* base = region_.base(true_owner);
+        p.owner_ptr = base == nullptr ? nullptr : base + p.seg_lo;
+      }
       fn(p);
     }
   }
@@ -302,9 +388,28 @@ void DistMatrix::gather_to(Rank& me, MatrixView global) {
   SRUMMA_REQUIRE(global.rows() == m_ && global.cols() == n_,
                  "gather: global view dimension mismatch");
   me.barrier();
-  MatrixView mine = local_view(me);
-  copy(mine, global.block(block_row_start(me.id()), block_col_start(me.id()),
-                          mine.rows(), mine.cols()));
+  fault::FaultPlane* fp = rma_->team().faults();
+  const bool my_domain_dead = fp != nullptr && fp->domain_dead(me.domain());
+  if (!my_domain_dead) {
+    MatrixView mine = local_view(me);
+    copy(mine, global.block(block_row_start(me.id()), block_col_start(me.id()),
+                            mine.rows(), mine.cols()));
+  }
+  if (fp != nullptr && replica_allocated_ && !my_domain_dead) {
+    // A dead domain's segments are modeled unreachable: its buddy holders
+    // contribute the replica copies of its blocks instead.
+    const int prot = protectee_of(me.id());
+    if (fp->domain_dead(me.machine().domain_of(prot))) {
+      const index_t rm = block_rows(prot);
+      const index_t rn = block_cols(prot);
+      if (rm > 0 && rn > 0) {
+        ConstMatrixView rep(replica_.base(me.id()), rm, rn,
+                            std::max<index_t>(rm, 1));
+        copy(rep, global.block(block_row_start(prot), block_col_start(prot),
+                               rm, rn));
+      }
+    }
+  }
   me.barrier();
 }
 

@@ -179,24 +179,72 @@ class DistMatrix {
   void scatter_from(Rank& me, ConstMatrixView global);
 
   /// Collective: copy every local block into a caller-shared full matrix.
-  /// All ranks must pass views of the same m x n storage.
+  /// All ranks must pass views of the same m x n storage.  When a domain
+  /// has been declared dead, its blocks are contributed by their buddy
+  /// holders from the replicas instead (the dead ranks' own segments are
+  /// modeled as unreachable).
   void gather_to(Rank& me, MatrixView global);
+
+  /// Collective buddy replication (docs/FAULTS.md §7): every rank mirrors
+  /// the block of its protectee — the rank with the same domain-local index
+  /// in the domain buddy_offset places "before" its own — into a replica
+  /// segment, so the panels of a domain that later fail-stops remain
+  /// fetchable.  Requires a fault plane with a kill configured (the buddy
+  /// offset comes from it); called by srumma_multiply before kill hooks are
+  /// armed, so a domain can never die before its panels are mirrored.
+  /// Refreshes the replica contents on every call (C changes between
+  /// multiplies); allocates the replica region on first use.  Acts as a
+  /// barrier.
+  void replicate(Rank& me);
+
+  /// Split-phase replication, three sub-phases the caller sequences:
+  /// replicate_alloc (collective, barriers — first use only), replicate_nb
+  /// (issues the mirror get), replicate_finish (waits it).  Callers
+  /// mirroring several matrices MUST alloc all of them before issuing any
+  /// get: allocation is a collective with a barrier, and a nonblocking get
+  /// crossing a barrier has undefined completion (the RMA checker flags
+  /// it).  They then overlap the wires and pay ONE publication barrier
+  /// after the last finish instead of one per matrix — the caller owns
+  /// that barrier.  `mirror = false` skips the content get while still
+  /// requiring the allocated segment (so post-death stores/gathers have
+  /// somewhere to redirect) — srumma_multiply uses this for C when
+  /// beta == 0: the post-beta snapshot is identically zero and recovery
+  /// overwrites every element it reads back, so the bytes would be dead
+  /// weight on the wire.
+  void replicate_alloc(Rank& me);
+  RmaHandle replicate_nb(Rank& me, bool mirror = true);
+  void replicate_finish(Rank& me, RmaHandle& h);
+
+  /// Whether replicate() has run (redirect to replicas is possible).
+  [[nodiscard]] bool replicated() const noexcept { return replica_allocated_; }
 
   [[nodiscard]] RmaRuntime& rma() noexcept { return *rma_; }
 
  private:
   void check_rect(index_t i0, index_t j0, index_t mi, index_t nj) const;
 
-  /// One owner-block intersection of a global rectangle.
+  /// One owner-block intersection of a global rectangle.  When the true
+  /// owner's domain has been declared dead (and the matrix is replicated),
+  /// the piece is REDIRECTED: `owner`/`owner_ptr` point at the buddy
+  /// holder's replica copy of the block — the single place every access
+  /// path (fetch/store/accumulate/verify/cache/checker) inherits the
+  /// failover from.
   struct Piece {
-    int owner;            ///< rank holding this piece
+    int owner;            ///< rank holding this piece (buddy after redirect)
     index_t gi, gj;       ///< global upper-left of the piece
     index_t rows, cols;   ///< extent
-    double* owner_ptr;    ///< address inside the owner block (null: phantom)
-    index_t owner_ld;     ///< owner block leading dimension
+    double* owner_ptr;    ///< address inside the holding block (null: phantom)
+    index_t owner_ld;     ///< holding block leading dimension
+    std::uint64_t seg_seq;  ///< segment identity (region_ or replica_)
+    index_t seg_lo;         ///< element offset of the piece in that segment
   };
   template <typename Fn>
   void for_each_piece(index_t i0, index_t j0, index_t mi, index_t nj, Fn&& fn);
+
+  /// Buddy mapping (docs/FAULTS.md §7): same domain-local index, domain
+  /// shifted by the fault plane's buddy_offset.
+  [[nodiscard]] int buddy_holder(int rank) const;   ///< who protects `rank`
+  [[nodiscard]] int protectee_of(int rank) const;   ///< whom `rank` protects
 
   RmaRuntime* rma_ = nullptr;
   index_t m_ = 0;
@@ -205,6 +253,8 @@ class DistMatrix {
   BlockDist1D rows_;
   BlockDist1D cols_;
   SymmetricRegion region_;
+  SymmetricRegion replica_;  ///< buddy replica storage (empty until replicate)
+  bool replica_allocated_ = false;
   bool phantom_ = false;
 };
 

@@ -14,6 +14,7 @@
 #include "blas/gemm.hpp"
 #include "cache/block_cache.hpp"
 #include "engine/operand.hpp"
+#include "fault/fault_plane.hpp"
 #include "runtime/team.hpp"
 #include "trace/tracer.hpp"
 #include "util/error.hpp"
@@ -198,6 +199,25 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
   TeamEngineGuard eng(me);
   DomainBoard& dom = eng.domain(me.domain());
 
+  // Fail-stop hooks: a configured kill trips at this rank's next prefetch
+  // issue, chain advance or steal attempt.  Once killed the rank is a
+  // zombie: it bails at a task boundary, drains in-flight state and keeps
+  // joining collectives.  The trip notifies the domain cv because mates may
+  // be parked on it (predecessor commits, handbacks) waiting on work this
+  // domain will now never publish — every such predicate has a killed
+  // escape.
+  fault::FaultPlane* fp = me.team().faults();
+  const bool kill_active = fp != nullptr && fp->kill_enabled();
+  const auto killed_now = [&] {
+    return kill_active && fp->domain_killed(me.domain());
+  };
+  const auto trip = [&](fault::KillPoint p) {
+    if (kill_active &&
+        fp->reach_kill_point(p, me.domain(), me.clock().now())) {
+      dom.cv.notify_all();
+    }
+  };
+
   // -- task graph setup ------------------------------------------------------
   // Group tasks by C tile; each tile's products commit in plan order (the
   // bitwise-identity invariant), execution order across tiles is free.
@@ -216,6 +236,7 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
   // dedup here is structural, not an ordering accident.)
   struct Slot {
     OperandState st;
+    DistMatrix* mat = nullptr;  // which matrix the slot's patch is of
     int refs = 0;      // consumers not yet committed or stolen away
     int inflight = 0;  // consumers issued and not yet committed
     bool issued = false;
@@ -228,17 +249,20 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
   std::map<PatchKey, int> b_slot_of;
   std::vector<int> a_slot(n_tasks);
   std::vector<int> b_slot(n_tasks);
-  const auto slot_for = [&](std::map<PatchKey, int>& m, index_t i0, index_t j0,
-                            index_t pm, index_t pn) {
+  const auto slot_for = [&](std::map<PatchKey, int>& m, DistMatrix& mat,
+                            index_t i0, index_t j0, index_t pm, index_t pn) {
     const auto [it, fresh] =
         m.try_emplace(PatchKey{i0, j0, pm, pn}, static_cast<int>(slots.size()));
-    if (fresh) slots.emplace_back();
+    if (fresh) {
+      slots.emplace_back();
+      slots.back().mat = &mat;
+    }
     return it->second;
   };
   for (std::size_t i = 0; i < n_tasks; ++i) {
     const Task& t = tasks[i];
-    a_slot[i] = slot_for(a_slot_of, t.a_i0, t.a_j0, t.a_m, t.a_n);
-    b_slot[i] = slot_for(b_slot_of, t.b_i0, t.b_j0, t.b_m, t.b_n);
+    a_slot[i] = slot_for(a_slot_of, a, t.a_i0, t.a_j0, t.a_m, t.a_n);
+    b_slot[i] = slot_for(b_slot_of, b, t.b_i0, t.b_j0, t.b_m, t.b_n);
     slots[static_cast<std::size_t>(a_slot[i])].refs += 1;
     slots[static_cast<std::size_t>(b_slot[i])].refs += 1;
   }
@@ -425,6 +449,8 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
   // current C tile (after its predecessor products committed), run the
   // product, and publish the finished tile for the owner to commit.
   const auto try_steal = [&](bool allow_ahead) -> bool {
+    trip(fault::KillPoint::Steal);
+    if (killed_now()) return false;
     StolenTask* d = nullptr;
     std::shared_ptr<RankBoard> vb;
     {
@@ -489,6 +515,9 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
       finish_cache(me, a, sa, af, opt.verify_checksums);
       finish_cache(me, b, sb, bf, opt.verify_checksums);
       if (!sa.failed && !sb.failed) break;
+      // Fail-stop mid-steal: both handles were just drained; discard the
+      // claim (the victim is a domain mate, so it is dead too).
+      if (killed_now()) return false;
       SRUMMA_REQUIRE(++reissues <= reissue_cap,
                      "engine: operand reissue budget exhausted — transfers "
                      "keep failing after RMA retries");
@@ -516,11 +545,16 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
     {
       std::unique_lock<std::mutex> lk(dom.mu);
       dom.cv.wait(lk, [&] {
-        return me.team().aborted() ||
+        return me.team().aborted() || killed_now() ||
                vb->commits[static_cast<std::size_t>(d->tile)] >= d->pos;
       });
       if (me.team().aborted())
         throw Error("engine: team aborted during steal");
+      // Fail-stop while parked: the victim (a domain mate, dead with us)
+      // will never commit the predecessor; discard the stolen work.
+      if (killed_now() &&
+          vb->commits[static_cast<std::size_t>(d->tile)] < d->pos)
+        return false;
       const double pred_vt = vb->commit_vt[static_cast<std::size_t>(d->tile)];
       if (pred_vt > me.clock().now()) me.clock().sync_to(pred_vt);
     }
@@ -570,6 +604,8 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
   // slots are not already live.  Returns false when a thief got there
   // first (the task will come back as a handback at its commit position).
   const auto issue = [&](std::size_t idx) -> bool {
+    trip(fault::KillPoint::Prefetch);
+    if (killed_now()) return false;  // fail-stop: no new fetches
     if (desc_of_task[idx] >= 0) {
       std::lock_guard<std::mutex> lk(dom.mu);
       StolenTask& d = board->descs[static_cast<std::size_t>(desc_of_task[idx])];
@@ -680,9 +716,13 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
     double pub = 0.0;
     {
       std::unique_lock<std::mutex> lk(dom.mu);
-      dom.cv.wait(lk, [&] { return me.team().aborted() || d.done; });
+      dom.cv.wait(lk,
+                  [&] { return me.team().aborted() || killed_now() || d.done; });
       if (me.team().aborted())
         throw Error("engine: team aborted waiting for a handback");
+      // Fail-stop while parked: the thief (a domain mate, dead with us)
+      // will never publish; the main loop bails right after.
+      if (killed_now() && !d.done) return;
       pub = d.publish_vt;
     }
     if (pub > me.clock().now()) me.clock().sync_to(pub);
@@ -702,6 +742,8 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
 
   // -- main loop -------------------------------------------------------------
   while (committed < n_tasks) {
+    trip(fault::KillPoint::Chain);
+    if (killed_now()) break;  // fail-stop at a task boundary: drain below
     // Top up the issue window (skipping tasks stolen away).
     while (inflight.size() < window && next < n_tasks) {
       const std::uint64_t add = issue_cost(next);
@@ -714,6 +756,7 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
       issue(next);
       ++next;
     }
+    if (killed_now()) break;
 
     // Candidate heads: for every tile, the next uncommitted product — an
     // own issued task, a pending/finished handback, or not yet issued.
@@ -781,7 +824,7 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
       // head's thief publishing.
       std::unique_lock<std::mutex> lk(dom.mu);
       dom.cv.wait(lk, [&] {
-        if (me.team().aborted()) return true;
+        if (me.team().aborted() || killed_now()) return true;
         for (int tile = 0; tile < n_tiles; ++tile) {
           const auto& chain = tile_tasks[static_cast<std::size_t>(tile)];
           const int pos = board->commits[static_cast<std::size_t>(tile)];
@@ -802,14 +845,37 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
   }
 
   // Own work done: drain whatever stealable work domain mates still have.
+  // (try_steal refuses immediately once this domain is killed.)
   while (try_steal(true)) {
+  }
+
+  if (killed_now()) {
+    // Zombie drain: complete in-flight handles and release cache refs so
+    // the domain's cache/checker state stays balanced; committed products
+    // stay committed (the ledger counts them once on this rank), and the
+    // uncommitted remainder is adopted by survivors from the replicas.
+    for (Slot& s : slots) {
+      if (s.mat == nullptr) continue;
+      const bool fetched = s.st.handle.pending;
+      if (fetched) s.mat->try_wait(me, s.st.handle);
+      finish_cache(me, *s.mat, s.st, fetched, false);
+    }
+    dom.cv.notify_all();  // wake any mate still parked on this domain's cv
   }
 
   me.trace().buffer_bytes_peak =
       std::max(me.trace().buffer_bytes_peak, peak_bytes);
 
+  // With a kill configured, keep the domain's entries warm through the
+  // close: RecoveryGuard::run (which always follows run_plan then) reopens
+  // the epoch as a continuation of this one — A/B stay read-only until the
+  // result is collected — so adoption replays panels from cache instead of
+  // refetching them.  kill_enabled() is rank-uniform; the tripped state is
+  // not yet, so it must not steer the drop.
+  fault::FaultPlane* fplane = me.team().faults();
+  const bool keep_warm = fplane != nullptr && fplane->kill_enabled();
   for (cache::BlockCacheSet* cset : cache_sets)
-    if (cset != nullptr) cset->end_epoch(me);
+    if (cset != nullptr) cset->end_epoch(me, keep_warm);
 }
 
 }  // namespace srumma::engine

@@ -58,6 +58,29 @@ void parse_u64(const char* name, std::uint64_t& out, bool& any) {
   }
 }
 
+void parse_kill_point(const char* name, KillPoint& out, bool& any) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return;
+  any = true;
+  const std::string s(v);
+  if (s == "none" || s.empty()) {
+    out = KillPoint::None;
+  } else if (s == "prefetch") {
+    out = KillPoint::Prefetch;
+  } else if (s == "chain") {
+    out = KillPoint::Chain;
+  } else if (s == "steal") {
+    out = KillPoint::Steal;
+  } else if (s == "barrier") {
+    out = KillPoint::Barrier;
+  } else {
+    SRUMMA_REQUIRE(false,
+                   "SRUMMA_FAULT_KILL_POINT: expected one of "
+                   "prefetch|chain|steal|barrier|none, got \"" +
+                       s + "\"");
+  }
+}
+
 }  // namespace
 
 std::optional<FaultConfig> FaultConfig::from_env() {
@@ -71,6 +94,10 @@ std::optional<FaultConfig> FaultConfig::from_env() {
   parse_int("SRUMMA_FAULT_STRAGGLER_NODE", cfg.straggler_node, any);
   parse_double("SRUMMA_FAULT_STRAGGLER_FACTOR", cfg.straggler_factor, any);
   parse_int("SRUMMA_FAULT_DEAD_DOMAIN", cfg.dead_domain, any);
+  parse_int("SRUMMA_FAULT_KILL_DOMAIN", cfg.kill_domain, any);
+  parse_kill_point("SRUMMA_FAULT_KILL_POINT", cfg.kill_point, any);
+  parse_double("SRUMMA_FAULT_KILL_AFTER_VTIME", cfg.kill_after_vtime, any);
+  parse_int("SRUMMA_FAULT_BUDDY_OFFSET", cfg.buddy_offset, any);
   parse_int("SRUMMA_FAULT_ONLY_RANK", cfg.only_rank, any);
   parse_int("SRUMMA_FAULT_ONLY_PEER", cfg.only_peer, any);
   parse_u64("SRUMMA_FAULT_FIRST_OP", cfg.first_op, any);
@@ -92,9 +119,51 @@ FaultPlane::FaultPlane(const MachineModel& machine, FaultConfig cfg)
                  "FaultConfig: rates must lie in [0, 1]");
   SRUMMA_REQUIRE(cfg_.delay_factor >= 1.0 && cfg_.straggler_factor >= 1.0,
                  "FaultConfig: delay factors must be >= 1");
+  // Install-time range validation (docs/FAULTS.md): a structural-fault
+  // domain id outside this machine's domains would silently never fire —
+  // reject it here so a typo'd SRUMMA_FAULT_DEAD_DOMAIN / _KILL_DOMAIN
+  // fails loudly instead of producing a clean-looking fault-free run.
+  const int domains = machine_.num_domains();
+  SRUMMA_REQUIRE(cfg_.dead_domain < domains,
+                 "FaultConfig: dead_domain " + std::to_string(cfg_.dead_domain) +
+                     " out of range for a machine with " +
+                     std::to_string(domains) + " shared-memory domain(s)");
+  SRUMMA_REQUIRE(cfg_.kill_domain < domains,
+                 "FaultConfig: kill_domain " + std::to_string(cfg_.kill_domain) +
+                     " out of range for a machine with " +
+                     std::to_string(domains) + " shared-memory domain(s)");
+  if (cfg_.kill_point != KillPoint::None || cfg_.kill_domain >= 0) {
+    SRUMMA_REQUIRE(cfg_.kill_point != KillPoint::None && cfg_.kill_domain >= 0,
+                   "FaultConfig: kill_domain and kill_point must be set "
+                   "together (SRUMMA_FAULT_KILL_DOMAIN + "
+                   "SRUMMA_FAULT_KILL_POINT)");
+    SRUMMA_REQUIRE(domains >= 2,
+                   "FaultConfig: killing a domain needs at least two "
+                   "shared-memory domains (no survivors otherwise)");
+    SRUMMA_REQUIRE(domains <= 64,
+                   "FaultConfig: the dead-domain bitset supports at most 64 "
+                   "domains");
+    SRUMMA_REQUIRE(cfg_.buddy_offset >= 1 && cfg_.buddy_offset < domains,
+                   "FaultConfig: buddy_offset " +
+                       std::to_string(cfg_.buddy_offset) +
+                       " must lie in [1, " + std::to_string(domains) +
+                       ") so a domain never buddies itself");
+  }
   any_random_ =
       cfg_.fail_rate > 0.0 || cfg_.corrupt_rate > 0.0 || cfg_.delay_rate > 0.0;
   reset();
+}
+
+bool FaultPlane::reach_kill_point(KillPoint p, int domain,
+                                  double vtime) noexcept {
+  if (cfg_.kill_point == KillPoint::None || domain != cfg_.kill_domain)
+    return false;
+  if (killed_.load(std::memory_order_acquire)) return true;
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  if (p != cfg_.kill_point) return false;
+  if (vtime < cfg_.kill_after_vtime) return false;
+  killed_.store(true, std::memory_order_release);
+  return true;
 }
 
 bool FaultPlane::in_scope(int rank, int peer, std::uint64_t seq,
@@ -157,6 +226,9 @@ void FaultPlane::corrupt_payload(double* dst, index_t ld, index_t rows,
 void FaultPlane::reset() noexcept {
   for (auto& c : op_seq_) c.store(0, std::memory_order_relaxed);
   for (auto& c : msg_seq_) c.store(0, std::memory_order_relaxed);
+  armed_.store(false, std::memory_order_release);
+  killed_.store(false, std::memory_order_release);
+  dead_mask_.store(0, std::memory_order_release);
 }
 
 std::shared_ptr<FaultPlane> plane_from_env(const MachineModel& machine) {

@@ -20,7 +20,17 @@
 //                           link rather than a random event);
 //   * dead shm domain     — direct load/store reach-through into segments
 //                           owned by one shared-memory domain faults, forcing
-//                           the pipeline to degrade ShmFlavor::Direct to Copy.
+//                           the pipeline to degrade ShmFlavor::Direct to Copy;
+//   * permanent kill      — one shared-memory domain fail-stops when one of
+//                           its ranks reaches a chosen execution point
+//                           (prefetch issue, commit-chain advance, steal
+//                           attempt, barrier entry).  Every subsequent
+//                           transfer targeting the killed domain fails; the
+//                           RMA layer promotes retry-budget exhaustion
+//                           against it into a team-wide "domain declared
+//                           dead" epoch (RmaStatus::DomainDead) and the
+//                           distribution/engine layers recover from buddy
+//                           replicas (docs/FAULTS.md §7).
 //
 // Determinism: every random decision is drawn from util/rng seeded by
 // (seed, rank, that rank's own op sequence number).  Each rank's decision
@@ -44,6 +54,19 @@
 
 namespace srumma::fault {
 
+/// Execution points at which a permanent domain kill can trip.  The kill is
+/// structural, not random: reaching the configured point with the configured
+/// domain fail-stops that domain, and NO rng draw is consumed — the random
+/// fault classes' decision streams are untouched (tested in
+/// tests/test_fault_recovery.cpp).
+enum class KillPoint {
+  None = 0,
+  Prefetch,  ///< a killed-domain rank issues an operand prefetch
+  Chain,     ///< a killed-domain rank advances a C-tile commit chain
+  Steal,     ///< a killed-domain rank attempts a task steal (engine only)
+  Barrier,   ///< a killed-domain rank enters a team barrier
+};
+
 /// Injection knobs.  All rates are probabilities in [0, 1] per operation.
 struct FaultConfig {
   std::uint64_t seed = 0x5eed;
@@ -61,6 +84,19 @@ struct FaultConfig {
   /// Shared-memory domain whose segments fault under direct load/store
   /// (-1 = none).  Copy-path (get/put) access still works.
   int dead_domain = -1;
+
+  // -- permanent fail-stop (docs/FAULTS.md §7) ------------------------------
+  /// Shared-memory domain that fail-stops mid-run (-1 = none).  Requires
+  /// kill_point; every rank of the domain dies together (node loss model).
+  int kill_domain = -1;
+  /// Execution point at which the kill trips (None = no kill).
+  KillPoint kill_point = KillPoint::None;
+  /// Additional gate: the kill only trips at/after this virtual time.
+  double kill_after_vtime = 0.0;
+  /// Buddy-replication placement: domain d's panels are mirrored onto
+  /// domain (d + buddy_offset) mod num_domains.  Must lie in
+  /// [1, num_domains) so a domain never buddies itself.
+  int buddy_offset = 1;
 
   // -- scoping & scheduling -------------------------------------------------
   int only_rank = -1;  ///< restrict random faults to ops issued by this rank
@@ -111,7 +147,58 @@ class FaultPlane {
 
   /// True when direct load/store into segments owned by `domain` faults.
   [[nodiscard]] bool direct_faults(int domain) const noexcept {
-    return cfg_.dead_domain >= 0 && domain == cfg_.dead_domain;
+    return (cfg_.dead_domain >= 0 && domain == cfg_.dead_domain) ||
+           domain_killed(domain);
+  }
+
+  // -- permanent fail-stop (docs/FAULTS.md §7) ------------------------------
+
+  /// Whether a permanent kill is configured (kill_point + kill_domain set).
+  [[nodiscard]] bool kill_enabled() const noexcept {
+    return cfg_.kill_point != KillPoint::None;
+  }
+  [[nodiscard]] int kill_domain() const noexcept { return cfg_.kill_domain; }
+  [[nodiscard]] int buddy_offset() const noexcept { return cfg_.buddy_offset; }
+
+  /// Arm the kill hooks.  Called by srumma_multiply once buddy replication
+  /// has completed, so a domain can never die before its panels are
+  /// mirrored — before arming, reach_kill_point never trips.
+  void arm_kills() noexcept { armed_.store(true, std::memory_order_release); }
+
+  /// A rank of `domain` reached execution point `p` at virtual time
+  /// `vtime`.  Trips the configured kill when armed and matching; returns
+  /// whether the caller's domain is (now) killed, so executors can enter
+  /// their zombie drain path.  Consumes no rng draw.
+  bool reach_kill_point(KillPoint p, int domain, double vtime) noexcept;
+
+  /// True when `domain` has fail-stopped (the kill tripped).  Transfers
+  /// targeting a killed domain fail; its ranks drain and stop working.
+  [[nodiscard]] bool domain_killed(int domain) const noexcept {
+    return cfg_.kill_domain >= 0 && domain == cfg_.kill_domain &&
+           killed_.load(std::memory_order_acquire);
+  }
+
+  /// Survivor consensus: promote `domain` from "ops keep failing" to
+  /// permanently dead.  Called by the RMA layer on retry-budget exhaustion
+  /// against a killed domain and by the recovery sync point.  Idempotent.
+  void declare_dead(int domain) noexcept {
+    if (domain >= 0 && domain < 64)
+      dead_mask_.fetch_or(std::uint64_t{1} << domain,
+                          std::memory_order_acq_rel);
+  }
+
+  /// True once `domain` has been declared dead: no new ops are issued to
+  /// it, in-flight handles drain with RmaStatus::DomainDead, and the
+  /// distribution layer redirects its blocks to the buddy replicas.
+  [[nodiscard]] bool domain_dead(int domain) const noexcept {
+    return domain >= 0 && domain < 64 &&
+           (dead_mask_.load(std::memory_order_acquire) &
+            (std::uint64_t{1} << domain)) != 0;
+  }
+
+  /// True when any domain has been declared dead (cheap recovery gate).
+  [[nodiscard]] bool any_domain_dead() const noexcept {
+    return dead_mask_.load(std::memory_order_acquire) != 0;
   }
 
   /// Deterministically flip one mantissa bit of one element of a rows x
@@ -133,6 +220,10 @@ class FaultPlane {
   bool any_random_ = false;
   std::vector<std::atomic<std::uint64_t>> op_seq_;   // per rank, RMA ops
   std::vector<std::atomic<std::uint64_t>> msg_seq_;  // per rank, messages
+  // Permanent fail-stop state (cleared by reset()).
+  std::atomic<bool> armed_{false};   // kill hooks live (replicas exist)
+  std::atomic<bool> killed_{false};  // the configured kill has tripped
+  std::atomic<std::uint64_t> dead_mask_{0};  // domains declared dead (bitset)
 };
 
 /// Convenience: build a plane from the environment (nullptr when no

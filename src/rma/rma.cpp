@@ -174,6 +174,16 @@ RmaHandle RmaRuntime::transfer(Rank& me, int owner, std::size_t bytes,
     // faults_corrupted is counted where the corruption is applied: the nb*
     // entry points (accumulates are exempt — a corrupted read-modify-write
     // could not be redone, so the corrupt channel skips Acc ops).
+
+    // Permanent fail-stop: any transfer targeting a killed domain fails —
+    // the payload never arrives.  Forced AFTER the random draw above so the
+    // transient classes' decision streams are untouched, and not counted in
+    // faults_injected (this is structural loss, not a transient fault; the
+    // drain is counted once per handle as rma_domain_dead in wait_impl).
+    if (fp->domain_killed(mm.domain_of(owner))) {
+      h.failed = true;
+      h.corrupted = false;
+    }
   }
 
   const double dbytes = static_cast<double>(bytes);
@@ -533,6 +543,30 @@ RmaStatus RmaRuntime::wait_impl(Rank& me, RmaHandle& h, double timeout,
       if (trace::Tracer* tr = team_.tracer_ptr())
         tr->counter_set(me.id(), trace::CounterId::RecoverySeconds,
                         me.clock().now(), me.trace().time_recovery);
+
+      // Failure detector (docs/FAULTS.md §7): a failed attempt against a
+      // killed domain is permanent, not transient.  Once the retry budget
+      // is exhausted the initiator PROMOTES the failure — it declares the
+      // domain dead team-wide and completes the handle with the terminal
+      // DomainDead status (no throw: recovery-aware callers refetch from
+      // the buddy replicas).  Later waits on ops already in flight against
+      // a declared-dead domain fast-fail on their first failed attempt
+      // instead of burning the full budget.
+      if (fault::FaultPlane* fp = team_.faults();
+          fp != nullptr && h.op.kind != ReplayOp::Kind::None) {
+        const int target_domain = team_.machine().domain_of(h.op.owner);
+        if (fp->domain_killed(target_domain) &&
+            (fp->domain_dead(target_domain) ||
+             h.attempts >= retry_.max_attempts)) {
+          fp->declare_dead(target_domain);
+          h.status = RmaStatus::DomainDead;
+          me.trace().rma_domain_dead += 1;
+          if (trace::Tracer* tr = team_.tracer_ptr())
+            tr->instant(me.id(), trace::Phase::DomainDead, me.clock().now(),
+                        static_cast<std::uint64_t>(target_domain));
+          return RmaStatus::DomainDead;
+        }
+      }
 
       if (h.attempts >= retry_.max_attempts) {
         h.status = RmaStatus::Error;

@@ -53,7 +53,14 @@ class BlockCacheSet;
 enum class RmaStatus {
   Ok,      ///< transfer delivered
   Error,   ///< transient failures exhausted the retry budget
-  Timeout  ///< caller deadline expired; the handle is still pending
+  Timeout, ///< caller deadline expired; the handle is still pending
+  /// Terminal: the target's shared-memory domain has permanently
+  /// fail-stopped (docs/FAULTS.md §7).  Distinct from Timeout ("peer slow")
+  /// and Error ("transient budget exhausted"): the op will never succeed,
+  /// no retry is attempted once the domain is declared dead, and callers
+  /// must recover from the buddy replicas.  Counted in rma_domain_dead,
+  /// separately from rma_op_timeouts.
+  DomainDead
 };
 
 /// Recovery policy applied inside RmaRuntime when a transfer completes in
@@ -223,7 +230,11 @@ class RmaRuntime {
   /// Idempotent on an already-completed handle; throws on a handle that was
   /// never issued (see RmaHandle).  Transient injected failures are retried
   /// per the RetryPolicy; when the retry budget is exhausted this throws
-  /// srumma::Error (use try_wait to handle the failure instead).
+  /// srumma::Error (use try_wait to handle the failure instead).  A handle
+  /// that drains with RmaStatus::DomainDead (permanent fail-stop of the
+  /// target's domain) does NOT throw — the status is terminal and recorded
+  /// on the handle; recovery-aware callers inspect it and refetch from the
+  /// buddy replicas (docs/FAULTS.md §7).
   void wait(Rank& me, RmaHandle& h,
             std::source_location site = std::source_location::current());
 

@@ -238,6 +238,13 @@ void Team::notify_epoch_observers(int rank) {
 }
 
 void Team::barrier_wait(Rank& me) {
+  // Barrier kill point: a configured fail-stop whose trigger is "at the
+  // next synchronization" trips as its domain's ranks enter the barrier.
+  // The rank still joins (barriers count all ranks, dead or alive); the
+  // recovery protocol detects and declares the death at its own barrier.
+  if (fault::FaultPlane* fp = faults(); fp != nullptr)
+    fp->reach_kill_point(fault::KillPoint::Barrier, me.domain(),
+                         me.clock().now());
   if (has_epoch_observers_.load(std::memory_order_acquire)) {
     if (trace::Tracer* tr = tracer_.get())
       tr->instant(me.id(), trace::Phase::Epoch, me.clock().now());

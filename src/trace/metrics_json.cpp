@@ -64,6 +64,7 @@ std::string counters_json(const TraceCounters& t) {
      << ",\"faults_delayed\":" << t.faults_delayed
      << ",\"rma_retries\":" << t.rma_retries
      << ",\"rma_op_timeouts\":" << t.rma_op_timeouts
+     << ",\"rma_domain_dead\":" << t.rma_domain_dead
      << ",\"task_requeues\":" << t.task_requeues
      << ",\"task_reissues\":" << t.task_reissues
      << ",\"shm_fallbacks\":" << t.shm_fallbacks
@@ -79,6 +80,7 @@ std::string counters_json(const TraceCounters& t) {
      << ",\"cache_bytes_saved\":" << t.cache_bytes_saved
      << ",\"engine_tasks\":" << t.engine_tasks
      << ",\"tasks_stolen\":" << t.tasks_stolen
+     << ",\"tasks_adopted\":" << t.tasks_adopted
      << "}";
   return os.str();
 }

@@ -8,7 +8,7 @@ namespace srumma {
 // trace_delta below, operator+= (vtime/trace_counters.hpp) and
 // counters_json (trace/metrics_json.cpp), with its SUM/MAX aggregation
 // documented on the field.
-static_assert(sizeof(TraceCounters) == 36 * sizeof(double),
+static_assert(sizeof(TraceCounters) == 38 * sizeof(double),
               "TraceCounters changed — update trace_delta, operator+=, "
               "counters_json and the per-field aggregation comments");
 
@@ -36,6 +36,7 @@ TraceCounters trace_delta(const TraceCounters& end, const TraceCounters& start) 
   d.faults_delayed = end.faults_delayed - start.faults_delayed;
   d.rma_retries = end.rma_retries - start.rma_retries;
   d.rma_op_timeouts = end.rma_op_timeouts - start.rma_op_timeouts;
+  d.rma_domain_dead = end.rma_domain_dead - start.rma_domain_dead;
   d.task_requeues = end.task_requeues - start.task_requeues;
   d.task_reissues = end.task_reissues - start.task_reissues;
   d.shm_fallbacks = end.shm_fallbacks - start.shm_fallbacks;
@@ -51,6 +52,7 @@ TraceCounters trace_delta(const TraceCounters& end, const TraceCounters& start) 
   d.cache_bytes_saved = end.cache_bytes_saved - start.cache_bytes_saved;
   d.engine_tasks = end.engine_tasks - start.engine_tasks;
   d.tasks_stolen = end.tasks_stolen - start.tasks_stolen;
+  d.tasks_adopted = end.tasks_adopted - start.tasks_adopted;
   return d;
 }
 
@@ -108,6 +110,10 @@ std::string describe(const MultiplyResult& r) {
   if (t.engine_tasks + t.tasks_stolen > 0) {
     os << ", engine: " << t.engine_tasks << " owner tasks / "
        << t.tasks_stolen << " stolen";
+  }
+  if (t.rma_domain_dead + t.tasks_adopted > 0) {
+    os << ", fail-stop: " << t.rma_domain_dead << " ops drained dead, "
+       << t.tasks_adopted << " tasks adopted";
   }
   return os.str();
 }

@@ -38,6 +38,8 @@ const char* phase_name(Phase p) {
     case Phase::CacheEvict: return "cache evict";
     case Phase::CacheRearm: return "cache rearm";
     case Phase::CacheRefetch: return "cache refetch";
+    case Phase::DomainDead: return "domain dead";
+    case Phase::Adopt: return "adopt";
   }
   return "?";
 }

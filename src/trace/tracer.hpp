@@ -82,6 +82,10 @@ enum class Phase : std::uint8_t {
   CacheRearm,   ///< dirty (failed-fetch) entry re-armed by a waiter
   CacheRefetch,  ///< ready entry published later (virtual time) than the
                  ///< request — causality forbids sharing; own get issued
+  DomainDead,    ///< handle drained with RmaStatus::DomainDead (arg = the
+                 ///< declared-dead domain id)
+  Adopt,         ///< survivor-side replay of one adopted task from the
+                 ///< buddy replicas (span; arg = dead owner's rank id)
 };
 
 [[nodiscard]] const char* phase_name(Phase p);

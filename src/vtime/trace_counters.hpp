@@ -53,6 +53,10 @@ struct TraceCounters {
   std::uint64_t faults_delayed = 0;    ///< straggler-op delays applied (SUM)
   std::uint64_t rma_retries = 0;       ///< re-issues performed by waits (SUM)
   std::uint64_t rma_op_timeouts = 0;   ///< attempts hit op_timeout (SUM)
+  /// Handles drained with the terminal RmaStatus::DomainDead after their
+  /// target's shared-memory domain fail-stopped (SUM).  Counted separately
+  /// from rma_op_timeouts: "peer gone" is not "peer slow".
+  std::uint64_t rma_domain_dead = 0;
   std::uint64_t task_requeues = 0;     ///< tasks re-enqueued at tail (SUM)
   /// Operand fetches re-issued after a task's first acquire failed: the
   /// legacy pipeline counts the re-issue of each requeued tail copy, the
@@ -93,6 +97,13 @@ struct TraceCounters {
   /// commits the C tile, so every stolen task also appears in exactly one
   /// of copy_tasks/direct_tasks (again on the thief).
   std::uint64_t tasks_stolen = 0;
+  /// Block products replayed by a survivor on behalf of a permanently dead
+  /// domain's ranks, from the buddy replicas into scratch (SUM); each also
+  /// appears in exactly one of copy_tasks/direct_tasks and in gemm_calls,
+  /// so recovery runs reconcile as
+  ///   engine_tasks + tasks_stolen + tasks_adopted
+  ///     == copy_tasks + direct_tasks == gemm_calls.
+  std::uint64_t tasks_adopted = 0;
 
   /// Fraction of issued communication hidden behind computation:
   /// 1 - time_wait/time_comm, clamped to [0, 1].  The paper reports >90%
@@ -127,6 +138,7 @@ struct TraceCounters {
     faults_delayed += o.faults_delayed;
     rma_retries += o.rma_retries;
     rma_op_timeouts += o.rma_op_timeouts;
+    rma_domain_dead += o.rma_domain_dead;
     task_requeues += o.task_requeues;
     task_reissues += o.task_reissues;
     shm_fallbacks += o.shm_fallbacks;
@@ -142,6 +154,7 @@ struct TraceCounters {
     cache_bytes_saved += o.cache_bytes_saved;
     engine_tasks += o.engine_tasks;
     tasks_stolen += o.tasks_stolen;
+    tasks_adopted += o.tasks_adopted;
     return *this;
   }
 };

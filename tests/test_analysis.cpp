@@ -174,10 +174,25 @@ TEST(Analysis, MutationAliasStealScratchFlagged) {
   }
 }
 
+TEST(Analysis, MutationAdoptChainFlagged) {
+  // The recovery-side analogue of reorder-commit (docs/FAULTS.md §7): a
+  // survivor adopts a dead rank's tile but replays the chain out of plan
+  // order.  The analyzer must prove the replay order against the dead
+  // rank's own chain layout.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    analysis::PlanModel pm = analysis::build_plan_model(mutation_config());
+    const std::string what =
+        analysis::mutate_plan(pm, Mutation::AdoptChain, seed);
+    const AnalysisReport rep = analysis::analyze(pm);
+    EXPECT_FALSE(rep.certified()) << what;
+    EXPECT_TRUE(has_kind(rep, FindingKind::CommitChain)) << what;
+  }
+}
+
 TEST(Analysis, MutationsDeterministic) {
   for (const Mutation mut :
        {Mutation::DropWait, Mutation::ReorderCommit, Mutation::WidenGetWindow,
-        Mutation::AliasStealScratch}) {
+        Mutation::AliasStealScratch, Mutation::AdoptChain}) {
     analysis::PlanModel pm1 = analysis::build_plan_model(mutation_config());
     analysis::PlanModel pm2 = analysis::build_plan_model(mutation_config());
     EXPECT_EQ(analysis::mutate_plan(pm1, mut, 42),

@@ -77,6 +77,55 @@ TEST(FaultPlane, AbsentByDefault) {
   EXPECT_FALSE(fault::FaultConfig::from_env().has_value());
 }
 
+TEST(FaultPlane, KillKnobsDoNotShiftRandomStreams) {
+  // The permanent kill (docs/FAULTS.md §7) is structural, not random:
+  // reach_kill_point consumes NO rng draw.  Two planes with identical
+  // random rates — one additionally configured to kill domain 1 at the
+  // Chain point — must therefore produce bit-identical on_transfer /
+  // on_message decision sequences, even with kill-point traffic (including
+  // the trip itself) interleaved between every pair of draws.  Compared
+  // call-by-call rather than run-by-run: a real killed run also changes
+  // WHICH ops it issues after the death, but each (rank, seq) draw must
+  // stay the same pure function of the seed.
+  const MachineModel mm = MachineModel::testing(4, 2);
+  fault::FaultConfig base;
+  base.seed = 0xfeedbeef;
+  base.fail_rate = 0.3;
+  base.corrupt_rate = 0.2;
+  base.delay_rate = 0.25;
+  base.delay_factor = 4.0;
+  fault::FaultConfig with_kill = base;
+  with_kill.kill_domain = 1;
+  with_kill.kill_point = fault::KillPoint::Chain;
+  with_kill.buddy_offset = 1;
+
+  fault::FaultPlane plain(mm, base);
+  fault::FaultPlane killer(mm, with_kill);
+  killer.arm_kills();
+
+  for (int step = 0; step < 64; ++step) {
+    const double vt = 1e-6 * step;
+    // Non-matching point, matching point (trips on the first pass and is
+    // idempotently re-reached on every later one), then the draws.
+    (void)killer.reach_kill_point(fault::KillPoint::Prefetch, 0, vt);
+    (void)killer.reach_kill_point(fault::KillPoint::Chain, 1, vt);
+    for (int rank = 0; rank < mm.total_ranks(); ++rank) {
+      const int peer = (rank + 1 + step) % mm.total_ranks();
+      const fault::FaultDecision want = plain.on_transfer(rank, peer, vt);
+      const fault::FaultDecision got = killer.on_transfer(rank, peer, vt);
+      EXPECT_EQ(want.fail, got.fail) << "rank " << rank << " step " << step;
+      EXPECT_EQ(want.corrupt, got.corrupt)
+          << "rank " << rank << " step " << step;
+      EXPECT_EQ(want.delay, got.delay) << "rank " << rank << " step " << step;
+      EXPECT_EQ(plain.on_message(rank, peer, vt),
+                killer.on_message(rank, peer, vt))
+          << "rank " << rank << " step " << step;
+    }
+  }
+  EXPECT_TRUE(killer.domain_killed(1));
+  EXPECT_FALSE(plain.domain_killed(1));
+}
+
 TEST(FaultRecovery, TransientFailuresRetryTransparently) {
   Team team(MachineModel::testing(2, 1));
   fault::FaultConfig f;
