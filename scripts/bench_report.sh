@@ -2,7 +2,10 @@
 # Regenerate the machine-readable bench metrics: one BENCH_<id>.json per
 # wired paper figure, written to the repo root in the stable
 # "srumma-bench-metrics/1" schema (docs/OBSERVABILITY.md §4) so the
-# performance trajectory is diffable across PRs.
+# performance trajectory is diffable across PRs.  BENCH_service.json is
+# the one exception: the request plane reports jobs/s and latency
+# percentiles, not GFLOP/s, so it uses the "srumma-service-metrics/1"
+# schema (docs/SERVICE.md §8) and is validated in its own block below.
 #
 # Default is smoke mode (SRUMMA_BENCH_SMOKE=1): shrunken problem sizes that
 # finish in seconds while exercising the identical code paths and emitting
@@ -28,12 +31,12 @@ cmake --build "$build" -j "$jobs" \
   --target bench_fig3_pipeline --target bench_fig5_direct_vs_copy \
   --target bench_fig7_overlap --target bench_cache \
   --target bench_ablation_blocksize --target bench_steal \
-  --target bench_chaos
+  --target bench_chaos --target bench_service
 
 benches=(fig3:bench_fig3_pipeline fig5:bench_fig5_direct_vs_copy
          fig7:bench_fig7_overlap cache:bench_cache
          ablation_blocksize:bench_ablation_blocksize
-         steal:bench_steal chaos:bench_chaos)
+         steal:bench_steal chaos:bench_chaos service:bench_service)
 
 for entry in "${benches[@]}"; do
   id="${entry%%:*}"
@@ -170,6 +173,45 @@ for label, row in rows.items():
 print(f"BENCH_chaos.json: domain-death acceptance bar ok "
       f"(worst engine {worst['engine']:.2f}x <= 1.5x, "
       f"worst pipeline {worst['pipeline']:.2f}x <= 2x)")
+EOF
+
+  # BENCH_service.json uses its own schema (jobs/s and latency percentiles
+  # instead of GFLOP/s), so it is deliberately NOT in the generic list
+  # above.  Acceptance bar (docs/SERVICE.md §8): the concurrent arm must
+  # deliver >= 1.5x the jobs/s of the whole-machine serial arm on the
+  # identical seeded arrival stream, with sane latency percentiles and
+  # utilization, zero failed jobs, and the whole stream accepted (the
+  # queue cap is sized so throughput, not shed rate, is what's measured).
+  python3 - "$repo/BENCH_service.json" << 'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "srumma-service-metrics/1", sys.argv[1]
+assert doc["bench"] == "service", sys.argv[1]
+arms = {a["label"]: a for a in doc["arms"]}
+assert set(arms) == {"concurrent", "serial"}, f"unexpected arms: {set(arms)}"
+for label, arm in arms.items():
+    m = arm["metrics"]
+    assert isinstance(arm["params"], dict) and arm["params"], label
+    assert m["jobs_per_s"] > 0, f"service/{label}: no throughput"
+    assert m["latency_p99_s"] >= m["latency_p50_s"] > 0, \
+        f"service/{label}: latency percentiles not ordered"
+    assert m["mean_wait_s"] >= 0, label
+    assert 0 < m["utilization"] <= 1.0, \
+        f"service/{label}: utilization {m['utilization']} out of range"
+    assert m["jobs_submitted"] == m["jobs_accepted"] == m["jobs_completed"], \
+        f"service/{label}: stream not fully accepted and completed"
+    assert m["jobs_failed"] == 0, f"service/{label}: jobs failed"
+conc, ser = arms["concurrent"]["metrics"], arms["serial"]["metrics"]
+ratio = conc["jobs_per_s"] / ser["jobs_per_s"]
+assert ratio >= 1.5, (
+    f"service: concurrent/serial throughput {ratio:.3f}x below the 1.5x bar")
+assert conc["batches"] > 0, "service: concurrent arm never batched smalls"
+assert ser["batches"] == 0, "service: whole-machine serial arm batched"
+print(f"BENCH_service.json: request-plane acceptance bar ok "
+      f"({ratio:.2f}x jobs/s, p50 {conc['latency_p50_s']*1e3:.2f} ms, "
+      f"utilization {conc['utilization']:.2f})")
 EOF
 else
   echo "bench_report: python3 not found, skipping JSON validation"

@@ -35,9 +35,14 @@
 #       executor through the SRUMMA_FAULT_KILL_* environment knobs under
 #       the RMA checker — buddy replication + task adoption must recover
 #       the exact result with zero checker diagnostics;
+#   1j. the GEMM request plane (docs/SERVICE.md): the service suite under
+#       the shadow-state RMA checker (every concurrent sub-team's epochs
+#       verified independently), then under low-rate env fault injection
+#       with a raised retry budget — scheduling decisions, batch packing,
+#       and the bitwise-identity contract must survive both;
 #   2.  a TSan build running the concurrency-heavy suites
 #       (test_rma, test_runtime, test_srumma, test_rma_checker,
-#       test_block_cache, test_engine, test_chaos);
+#       test_block_cache, test_engine, test_chaos, test_service);
 #   3.  static analysis via scripts/lint.sh.
 #
 # Usage: scripts/check.sh [build-dir] [asan-build-dir] [tsan-build-dir]
@@ -239,6 +244,23 @@ done
 echo "kill sweep: 4 points x 2 executors recovered exactly, checker silent"
 
 echo
+echo "== tier 1j: request plane under checker + fault injection =="
+# The service suite already ran clean in tier 1 and under the checker in
+# tier 1c; these arms make the two service-critical matrices explicit.
+# Checker arm: each job's sub-team owns an independent shadow state, so a
+# cross-job epoch leak surfaces here.  Fault arm: low-rate transient
+# failures under a raised retry budget — the RMA layer absorbs every
+# fault, so job-level outcomes, scheduling order, and bitwise identity
+# must be unchanged (suites that inject their own planes override the
+# env plane per sub-team, keeping their exact-count assertions valid).
+SRUMMA_RMA_CHECK=1 \
+  ctest --test-dir "$build" --output-on-failure -R '^test_service$'
+SRUMMA_FAULT_FAIL_RATE=0.002 \
+SRUMMA_FAULT_DELAY_RATE=0.002 \
+SRUMMA_FAULT_MAX_ATTEMPTS=20 \
+  ctest --test-dir "$build" --output-on-failure -R '^test_service$'
+
+echo
 echo "== tier 2: concurrency suites under TSan ($tsan_build) =="
 cmake -B "$tsan_build" -S "$repo" \
   -DSRUMMA_SANITIZE=thread \
@@ -247,11 +269,11 @@ cmake -B "$tsan_build" -S "$repo" \
 cmake --build "$tsan_build" -j "$jobs" \
   --target test_rma --target test_runtime --target test_srumma \
   --target test_rma_checker --target test_block_cache --target test_engine \
-  --target test_chaos
+  --target test_chaos --target test_service
 # halt_on_error: a data race must fail the suite, not just print.
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
   ctest --test-dir "$tsan_build" --output-on-failure \
-  -R '^(test_rma|test_runtime|test_srumma|test_rma_checker|test_block_cache|test_engine|test_chaos)$'
+  -R '^(test_rma|test_runtime|test_srumma|test_rma_checker|test_block_cache|test_engine|test_chaos|test_service)$'
 
 echo
 echo "== tier 3: static analysis (scripts/lint.sh) =="

@@ -21,6 +21,14 @@ double DgemmRateModel::time(index_t m, index_t n, index_t k) const {
          rate(m, n, k);
 }
 
+MachineModel MachineModel::carve(int nodes) const {
+  SRUMMA_REQUIRE(nodes >= 1 && nodes <= num_nodes,
+                 "carve: node count must lie in [1, num_nodes]");
+  MachineModel m = *this;
+  m.num_nodes = nodes;
+  return m;
+}
+
 MachineModel MachineModel::linux_myrinet(int num_nodes) {
   SRUMMA_REQUIRE(num_nodes >= 1, "need at least one node");
   MachineModel m;

@@ -119,6 +119,13 @@ struct MachineModel {
     return shm_agg_bw_per_node * nodes_in_domain;
   }
 
+  /// A `nodes`-node slice of this machine: identical per-node parameters,
+  /// truncated topology.  Because every parameter is homogeneous per node,
+  /// a Team over the carved model behaves exactly like a standalone
+  /// machine of that size — the property the request plane (src/service)
+  /// relies on for its bitwise-identity guarantee (docs/SERVICE.md).
+  [[nodiscard]] MachineModel carve(int nodes) const;
+
   // -- the four paper platforms ---------------------------------------------
   /// Dual 2.4-GHz Xeon nodes, Myrinet-2000 (GM, zero-copy RMA).
   static MachineModel linux_myrinet(int num_nodes);

@@ -1,0 +1,69 @@
+#include "runtime/subteam.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace srumma {
+
+TeamPartition::TeamPartition(int total_nodes) : total_(total_nodes) {
+  SRUMMA_REQUIRE(total_nodes >= 1, "partition needs at least one node");
+  busy_.assign(static_cast<std::size_t>(total_nodes), 0);
+}
+
+int TeamPartition::free_nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(std::count(busy_.begin(), busy_.end(), 0));
+}
+
+int TeamPartition::largest_free_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int best = 0;
+  int run = 0;
+  for (char b : busy_) {
+    run = b != 0 ? 0 : run + 1;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+std::optional<NodeLease> TeamPartition::acquire(int nodes) {
+  SRUMMA_REQUIRE(nodes >= 1 && nodes <= total_,
+                 "lease size must lie in [1, total_nodes]");
+  std::lock_guard<std::mutex> lock(mu_);
+  int run = 0;
+  for (int i = 0; i < total_; ++i) {
+    run = busy_[static_cast<std::size_t>(i)] != 0 ? 0 : run + 1;
+    if (run == nodes) {
+      const int first = i - nodes + 1;
+      for (int j = first; j <= i; ++j) busy_[static_cast<std::size_t>(j)] = 1;
+      return NodeLease{first, nodes};
+    }
+  }
+  return std::nullopt;
+}
+
+void TeamPartition::release(const NodeLease& lease) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SRUMMA_REQUIRE(lease.first_node >= 0 && lease.nodes >= 1 &&
+                     lease.first_node + lease.nodes <= total_,
+                 "release: lease out of range");
+  for (int j = lease.first_node; j < lease.first_node + lease.nodes; ++j) {
+    SRUMMA_REQUIRE(busy_[static_cast<std::size_t>(j)] != 0,
+                   "release: node is not leased");
+    busy_[static_cast<std::size_t>(j)] = 0;
+  }
+}
+
+SubTeam::SubTeam(const MachineModel& parent, NodeLease lease)
+    : lease_(lease),
+      team_(std::make_unique<Team>(parent.carve(lease.nodes))) {
+  if (trace::Tracer* tr = team_->tracer_ptr();
+      tr != nullptr && !tr->config().path.empty()) {
+    trace::TracerConfig cfg = tr->config();
+    cfg.path.clear();  // record-only: never flush to the shared env path
+    team_->enable_tracer(cfg);
+  }
+}
+
+}  // namespace srumma

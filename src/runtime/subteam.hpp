@@ -1,0 +1,87 @@
+#pragma once
+// Sub-team carve-out: running several SPMD collectives side by side on
+// disjoint slices of one simulated machine.
+//
+// A Team owns the whole machine it was built for — one barrier, one
+// network, one fault plane.  The request plane (src/service,
+// docs/SERVICE.md) needs to run many srumma_multiply jobs at once, each on
+// its own set of nodes, without any of them sharing synchronization state.
+// Rather than teaching Team about partitions, a SubTeam builds a *fresh*
+// Team over MachineModel::carve(lease.nodes): because every machine
+// parameter is homogeneous per node, the carved Team is behaviorally
+// identical to a standalone machine of that size — independent barriers,
+// epochs, network contention state and fault-decision streams by
+// construction, and bitwise-identical multiply results (the service's
+// identity guarantee falls out of this, not out of any replay trickery).
+//
+// TeamPartition is the node allocator: first-fit contiguous leases over
+// the parent machine's node line, thread-safe so schedulers and tests may
+// probe it from any thread.  Leases are position-tracked (first_node)
+// even though the carved model only needs a count, so traces and
+// utilization accounting can attribute work to concrete parent nodes.
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "runtime/team.hpp"
+
+namespace srumma {
+
+/// A contiguous run of parent-machine nodes held by one dispatch.
+struct NodeLease {
+  int first_node = 0;
+  int nodes = 0;
+};
+
+/// Thread-safe first-fit allocator over a machine's node line.
+class TeamPartition {
+ public:
+  explicit TeamPartition(int total_nodes);
+
+  [[nodiscard]] int total_nodes() const noexcept { return total_; }
+  /// Nodes not currently under any lease.
+  [[nodiscard]] int free_nodes() const;
+  /// Largest contiguous free run — the biggest lease acquire() could grant
+  /// right now.
+  [[nodiscard]] int largest_free_run() const;
+
+  /// First-fit contiguous acquisition; nullopt when no run of `nodes`
+  /// consecutive free nodes exists.
+  [[nodiscard]] std::optional<NodeLease> acquire(int nodes);
+
+  /// Return a lease's nodes to the free pool.  Releasing nodes that are
+  /// not currently leased is a logic error and throws.
+  void release(const NodeLease& lease);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<char> busy_;
+  int total_;
+};
+
+/// A fresh Team over the carved sub-machine of one lease.
+///
+/// The Team constructor auto-installs a fault plane and a tracer from the
+/// SRUMMA_FAULT_* / SRUMMA_TRACE environment.  The fault plane is kept
+/// (every sub-team must see the injected environment, with its own
+/// decision stream); the env tracer is neutralized to record-only —
+/// concurrent sub-teams would otherwise all flush to the same
+/// SRUMMA_TRACE path at destruction, clobbering each other.  Job-level
+/// tracing lives in the service's own tracer (docs/SERVICE.md §7).
+class SubTeam {
+ public:
+  SubTeam(const MachineModel& parent, NodeLease lease);
+
+  [[nodiscard]] Team& team() noexcept { return *team_; }
+  [[nodiscard]] const NodeLease& lease() const noexcept { return lease_; }
+  [[nodiscard]] int ranks() const noexcept { return team_->size(); }
+
+ private:
+  NodeLease lease_;
+  std::unique_ptr<Team> team_;
+};
+
+}  // namespace srumma

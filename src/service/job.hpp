@@ -1,0 +1,117 @@
+#pragma once
+// Job vocabulary of the GEMM request plane (docs/SERVICE.md).
+//
+// A JobSpec is everything a client states about one multiply: the shape
+// and transpose flavor, the scalars, a priority class, an optional soft
+// deadline, and either phantom (model-only) or real operand views.  The
+// service answers a submit with a typed SubmitResult — accepted with a job
+// id, or shed with a RejectReason — and materializes one JobReport per
+// submission (including rejected ones) recording the full lifecycle.
+
+#include <cstdint>
+#include <string>
+
+#include "blas/gemm.hpp"
+#include "trace/report.hpp"
+#include "util/matrix.hpp"
+
+namespace srumma::service {
+
+/// Scheduling class.  Higher classes are dispatched first; waiting jobs
+/// age upward (ServiceConfig::age_boost) so Low can never starve.
+enum class JobPriority : std::uint8_t { Low = 0, Normal = 1, High = 2 };
+
+[[nodiscard]] const char* priority_name(JobPriority p);
+
+/// Why a submission was not admitted (docs/SERVICE.md §4).
+enum class RejectReason : std::uint8_t {
+  None,          ///< accepted
+  QueueFull,     ///< waiting queue at ServiceConfig::queue_cap — shed
+  ShuttingDown,  ///< submitted after close()
+  BadShape,      ///< non-positive dimensions or mismatched operand views
+};
+
+[[nodiscard]] const char* reject_name(RejectReason r);
+
+/// Job lifecycle states (docs/SERVICE.md §3).
+enum class JobState : std::uint8_t {
+  Queued,    ///< admitted, waiting for a sub-team
+  Running,   ///< dispatched on a node lease
+  Done,      ///< completed; result is final
+  Failed,    ///< every attempt exhausted its retries
+  Rejected,  ///< never admitted (see RejectReason)
+};
+
+[[nodiscard]] const char* state_name(JobState s);
+
+/// One GEMM request: C := alpha * op(A) * op(B) + beta * C.
+struct JobSpec {
+  index_t m = 0;
+  index_t n = 0;
+  index_t k = 0;
+  blas::Trans ta = blas::Trans::No;
+  blas::Trans tb = blas::Trans::No;
+  double alpha = 1.0;
+  double beta = 0.0;
+
+  JobPriority priority = JobPriority::Normal;
+  /// Soft latency target in virtual seconds from arrival; 0 = none.  Used
+  /// only to break ties among equal-effective-priority jobs (earliest
+  /// deadline first) and reported as met/missed — never a reject cause.
+  double deadline_hint = 0.0;
+  std::string label;
+
+  /// Model-only job: no data allocated or moved, full cost accounting —
+  /// the same phantom mode DistMatrix offers (the benches use this).
+  bool phantom = true;
+  /// Real-data jobs (phantom == false): global operand views.  a is
+  /// op-less op(A)'s storage (k x m when ta == Trans::Yes, else m x k), b
+  /// likewise for B; c is both the beta input and the m x n destination
+  /// the serviced product is gathered back into.  The views must stay
+  /// valid until the job's report is final (drain() or the submit that
+  /// processes its completion).
+  ConstMatrixView a{};
+  ConstMatrixView b{};
+  MatrixView c{};
+
+  /// FLOP cost 2mnk — what the scheduler sizes sub-teams by.
+  [[nodiscard]] double flops() const {
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k);
+  }
+};
+
+/// Typed answer to GemmService::submit.
+struct SubmitResult {
+  std::uint64_t id = 0;  ///< report handle (assigned to rejects too)
+  bool accepted = false;
+  RejectReason reject = RejectReason::None;
+};
+
+/// Full lifecycle record of one submission.
+struct JobReport {
+  std::uint64_t id = 0;
+  std::string label;
+  JobState state = JobState::Queued;
+  JobPriority priority = JobPriority::Normal;
+  RejectReason reject = RejectReason::None;
+
+  double arrival_vt = 0.0;     ///< virtual time of submit
+  double start_vt = 0.0;       ///< dispatch onto the sub-team
+  double completion_vt = 0.0;  ///< result final (Done or Failed)
+
+  [[nodiscard]] double wait() const { return start_vt - arrival_vt; }
+  [[nodiscard]] double service() const { return completion_vt - start_vt; }
+  [[nodiscard]] double latency() const { return completion_vt - arrival_vt; }
+
+  int nodes = 0;        ///< lease width the job ran on
+  int ranks = 0;        ///< sub-team size
+  int attempts = 0;     ///< sub-team runs consumed (1 = no retry)
+  int batch_size = 1;   ///< jobs sharing the lease (1 = dispatched alone)
+  bool deadline_met = true;  ///< latency() <= deadline_hint (true when 0)
+
+  /// The final attempt's multiply result (zeroed for Rejected/Failed).
+  MultiplyResult result;
+};
+
+}  // namespace srumma::service

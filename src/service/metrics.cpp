@@ -1,0 +1,88 @@
+#include "service/metrics.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace srumma::service {
+
+namespace {
+
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void emit_map(std::ostream& os, const trace::NumberMap& m) {
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    os << (first ? "" : ",") << "\"" << escape(k) << "\":" << num(v);
+    first = false;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+trace::NumberMap metrics_map(const ServiceMetrics& m) {
+  return {
+      {"jobs_submitted", static_cast<double>(m.submitted)},
+      {"jobs_accepted", static_cast<double>(m.accepted)},
+      {"jobs_rejected", static_cast<double>(m.rejected)},
+      {"jobs_completed", static_cast<double>(m.completed)},
+      {"jobs_failed", static_cast<double>(m.failed)},
+      {"window_s", m.window},
+      {"jobs_per_s", m.jobs_per_s},
+      {"latency_p50_s", m.p50_latency},
+      {"latency_p99_s", m.p99_latency},
+      {"mean_wait_s", m.mean_wait},
+      {"utilization", m.utilization},
+      {"deadline_misses", static_cast<double>(m.deadline_misses)},
+      {"batches", static_cast<double>(m.batches)},
+      {"retries", static_cast<double>(m.retries)},
+  };
+}
+
+std::string service_metrics_json(const std::string& bench,
+                                 const std::vector<ServiceArm>& arms) {
+  std::ostringstream os;
+  os << "{\"schema\":\"srumma-service-metrics/1\",\"bench\":\""
+     << escape(bench) << "\",\"arms\":[";
+  bool first = true;
+  for (const ServiceArm& arm : arms) {
+    os << (first ? "" : ",") << "\n  {\"label\":\"" << escape(arm.label)
+       << "\",\"params\":";
+    emit_map(os, arm.params);
+    os << ",\"metrics\":";
+    emit_map(os, metrics_map(arm.metrics));
+    os << "}";
+    first = false;
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool write_service_metrics_env(const std::string& bench,
+                               const std::vector<ServiceArm>& arms) {
+  const char* p = std::getenv("SRUMMA_BENCH_JSON");
+  if (p == nullptr || *p == '\0') return true;
+  std::ofstream f(p, std::ios::trunc);
+  if (!f) return false;
+  f << service_metrics_json(bench, arms);
+  return static_cast<bool>(f);
+}
+
+}  // namespace srumma::service

@@ -40,6 +40,11 @@ const char* phase_name(Phase p) {
     case Phase::CacheRefetch: return "cache refetch";
     case Phase::DomainDead: return "domain dead";
     case Phase::Adopt: return "adopt";
+    case Phase::Job: return "job";
+    case Phase::JobWait: return "job wait";
+    case Phase::JobArrive: return "job arrive";
+    case Phase::JobReject: return "job reject";
+    case Phase::JobRetry: return "job retry";
   }
   return "?";
 }

@@ -86,6 +86,13 @@ enum class Phase : std::uint8_t {
                  ///< declared-dead domain id)
   Adopt,         ///< survivor-side replay of one adopted task from the
                  ///< buddy replicas (span; arg = dead owner's rank id)
+  // -- request plane (src/service; tracks are parent NODES, not ranks) -------
+  Job,       ///< span: one serviced job, dispatch to completion (arg = id)
+  JobWait,   ///< span: queue wait, admission to dispatch (arg = job id)
+  JobArrive,  ///< instant: job accepted into the waiting queue (arg = id)
+  JobReject,  ///< instant: job shed by admission control (arg = job id)
+  JobRetry,   ///< instant: failed attempt re-dispatched on a fresh
+              ///< sub-team (arg = job id)
 };
 
 [[nodiscard]] const char* phase_name(Phase p);
