@@ -30,7 +30,8 @@ void k_chunk_sweep(const std::string& name, MachineModel machine, index_t n,
   for (index_t kc : {0, 32, 64, 125, 250, 500, 1000}) {
     SrummaOptions opt = platform_options(tb.team.machine());
     opt.k_chunk = kc;
-    const MultiplyResult r = run_srumma(tb, n, n, n, opt);
+    double wall_s = 0.0;
+    const MultiplyResult r = run_srumma(tb, n, n, n, opt, &wall_s);
     table.add_row({kc == 0 ? "auto" : TableWriter::num(static_cast<long long>(kc)),
                    ms(r.elapsed), gf(r.gflops),
                    TableWriter::num(r.overlap * 100.0, 1),
@@ -39,7 +40,8 @@ void k_chunk_sweep(const std::string& name, MachineModel machine, index_t n,
     log.add("k_chunk/" + name, r,
             {{"n", static_cast<double>(n)},
              {"k_chunk", static_cast<double>(kc)},
-             {"cache", cached}});
+             {"cache", cached}},
+            wall_s);
   }
   table.print(std::cout, name + ": k_chunk sweep, N=" + std::to_string(n));
   std::cout << "\n";
@@ -54,14 +56,16 @@ void lookahead_sweep(const std::string& name, MachineModel machine, index_t n,
     SrummaOptions opt = platform_options(tb.team.machine());
     opt.lookahead = la;
     opt.k_chunk = 64;  // fine tasks so depth can matter
-    const MultiplyResult r = run_srumma(tb, n, n, n, opt);
+    double wall_s = 0.0;
+    const MultiplyResult r = run_srumma(tb, n, n, n, opt, &wall_s);
     table.add_row({TableWriter::num(static_cast<long long>(la)),
                    ms(r.elapsed), gf(r.gflops),
                    TableWriter::num(r.overlap * 100.0, 1)});
     log.add("lookahead/" + name, r,
             {{"n", static_cast<double>(n)},
              {"lookahead", static_cast<double>(la)},
-             {"cache", cached}});
+             {"cache", cached}},
+            wall_s);
   }
   table.print(std::cout, name + ": prefetch-depth sweep, N=" + std::to_string(n));
   std::cout << "\n";
@@ -75,7 +79,8 @@ void c_chunk_sweep(const std::string& name, MachineModel machine, index_t n,
   for (index_t cc : {0, 64, 128, 256, 512}) {
     SrummaOptions opt = platform_options(tb.team.machine());
     opt.c_chunk = cc;
-    const MultiplyResult r = run_srumma(tb, n, n, n, opt);
+    double wall_s = 0.0;
+    const MultiplyResult r = run_srumma(tb, n, n, n, opt, &wall_s);
     // Buffer footprint ~ 2*(lookahead+2) panels of (c_tile x k_chunk).
     const index_t tile = cc == 0 ? n / tb.grid().p : cc;
     const double buf_kb =
@@ -85,7 +90,8 @@ void c_chunk_sweep(const std::string& name, MachineModel machine, index_t n,
     log.add("c_chunk/" + name, r,
             {{"n", static_cast<double>(n)},
              {"c_chunk", static_cast<double>(cc)},
-             {"cache", cached}});
+             {"cache", cached}},
+            wall_s);
   }
   table.print(std::cout,
               name + ": C-tile sweep (memory cap), N=" + std::to_string(n));

@@ -34,6 +34,7 @@ namespace {
 
 struct Arm {
   MultiplyResult result;
+  double wall = 0.0;
   bool cached = false;
 };
 
@@ -52,7 +53,7 @@ Arm run_arm(MachineModel machine, bool cache, index_t n) {
   opt.ordering.a_group = false;
   Arm arm;
   arm.cached = cache_engaged(tb.rma);
-  arm.result = run_srumma(tb, n, n, n, opt);
+  arm.result = run_srumma(tb, n, n, n, opt, &arm.wall);
   return arm;
 }
 
@@ -89,7 +90,8 @@ void machine_pair(const std::string& name, const std::string& label,
   for (const Arm* a : {&off, &on}) {
     log.add(label + (a->cached ? "_on" : "_off"), a->result,
             {{"n", static_cast<double>(n)},
-             {"cache", a->cached ? 1.0 : 0.0}});
+             {"cache", a->cached ? 1.0 : 0.0}},
+            a->wall);
   }
 }
 

@@ -32,6 +32,7 @@ namespace {
 
 struct Arm {
   MultiplyResult result;
+  double wall = 0.0;
   std::string label;
   bool killed = false;
 };
@@ -67,7 +68,7 @@ Arm run_arm(const MachineModel& machine, EngineMode mode, index_t n,
   arm.label = std::string(mode == EngineMode::On ? "engine" : "pipeline") +
               (arm.killed ? std::string("_kill_") + point_name(kp)
                           : std::string("_faultfree"));
-  arm.result = run_srumma(tb, n, n, n, opt);
+  arm.result = run_srumma(tb, n, n, n, opt, &arm.wall);
   return arm;
 }
 
@@ -125,7 +126,7 @@ int main(int argc, char** argv) {
           {"kill_domain", arm.killed ? 1.0 : -1.0},
           {"buddy_offset", 1.0},
           {"overhead_vs_faultfree", overhead}};
-      log.add(arm.label, arm.result, std::move(params));
+      log.add(arm.label, arm.result, std::move(params), arm.wall);
     }
   }
   table.print(std::cout, "Linux cluster, 8 dual nodes (16 ranks), N=" +

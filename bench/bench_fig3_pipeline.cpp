@@ -24,6 +24,7 @@ void run_arm(const std::string& label, bool nonblocking,
   RmaRuntime rma(team, cache_rma_config(cache));
   const ProcGrid g = ProcGrid::near_square(team.size());
   MultiplyResult out;
+  const WallTimer wall;
   team.run([&](Rank& me) {
     DistMatrix a(rma, me, n, n, g, true);
     DistMatrix b(rma, me, n, n, g, true);
@@ -33,6 +34,7 @@ void run_arm(const std::string& label, bool nonblocking,
     MultiplyResult r = srumma_multiply(me, a, b, c, opt);
     if (me.id() == 0) out = r;
   });
+  const double wall_s = wall.seconds();
   std::cout << label << " — " << TableWriter::num(out.gflops, 1)
             << " GFLOP/s, overlap "
             << TableWriter::num(out.overlap * 100.0, 1) << "%\n";
@@ -44,7 +46,8 @@ void run_arm(const std::string& label, bool nonblocking,
   SrummaOptions aopt;
   aopt.nonblocking = nonblocking;
   append_static_bounds(params, team.machine(), n, n, n, aopt);
-  log.add(nonblocking ? "nonblocking" : "blocking", out, std::move(params));
+  log.add(nonblocking ? "nonblocking" : "blocking", out, std::move(params),
+          wall_s);
 }
 
 }  // namespace

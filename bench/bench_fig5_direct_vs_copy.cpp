@@ -35,16 +35,18 @@ int main() {
       direct.shm_flavor = ShmFlavor::Direct;
       SrummaOptions copy = direct;
       copy.shm_flavor = ShmFlavor::Copy;
-      const MultiplyResult rd = run_srumma(tb, n, n, n, direct);
-      const MultiplyResult rc = run_srumma(tb, n, n, n, copy);
+      double wall_d = 0.0, wall_c = 0.0;
+      const MultiplyResult rd = run_srumma(tb, n, n, n, direct, &wall_d);
+      const MultiplyResult rc = run_srumma(tb, n, n, n, copy, &wall_c);
       const char* op = ta == Trans::No ? "C=AB" : "C=AtB";
       table.add_row({op, gf(rd.gflops), gf(rc.gflops),
                      rd.gflops >= rc.gflops ? "direct" : "copy"});
       const trace::NumberMap params = {
           {"n", static_cast<double>(n)},
           {"cpus", static_cast<double>(tb.team.size())}};
-      log.add(std::string(p.name) + " " + op + " direct", rd, params);
-      log.add(std::string(p.name) + " " + op + " copy", rc, params);
+      log.add(std::string(p.name) + " " + op + " direct", rd, params,
+              wall_d);
+      log.add(std::string(p.name) + " " + op + " copy", rc, params, wall_c);
     }
     table.print(std::cout, p.name);
     std::cout << "\n";
@@ -59,16 +61,17 @@ int main() {
     d.shm_flavor = ShmFlavor::Direct;
     SrummaOptions c;
     c.shm_flavor = ShmFlavor::Copy;
-    const MultiplyResult rd = run_srumma(tb, n, n, n, d);
-    const MultiplyResult rc = run_srumma(tb, n, n, n, c);
+    double wall_d = 0.0, wall_c = 0.0;
+    const MultiplyResult rd = run_srumma(tb, n, n, n, d, &wall_d);
+    const MultiplyResult rc = run_srumma(tb, n, n, n, c, &wall_c);
     growth.add_row({TableWriter::num(static_cast<long long>(cpus)),
                     ms(rd.elapsed), ms(rc.elapsed),
                     TableWriter::num(
                         100.0 * (rc.elapsed - rd.elapsed) / rd.elapsed, 1)});
     const trace::NumberMap params = {{"n", static_cast<double>(n)},
                                      {"cpus", static_cast<double>(cpus)}};
-    log.add("Altix growth direct", rd, params);
-    log.add("Altix growth copy", rc, params);
+    log.add("Altix growth direct", rd, params, wall_d);
+    log.add("Altix growth copy", rc, params, wall_c);
   }
   growth.print(std::cout);
   std::cout << "\nExpected shape: copy wins on the X1, direct on the Altix "

@@ -1,0 +1,236 @@
+// Harness scaling sweep: ranks {64, 256, 1024, 4096} running the paper's
+// Fig. 3 double-buffered nonblocking pipeline, pooled fiber execution vs
+// thread-per-rank (docs/HARNESS.md).
+//
+// This bench tracks the *simulator's* speed, not the model's: every row
+// reports wall_seconds and wall_per_virtual_second, and bench_report.sh
+// holds two bars against BENCH_scale.json — pooled mode simulates >= 3x
+// more virtual seconds per wall second than thread-per-rank at 1024
+// ranks, and the modeled (virtual-time) metrics are bitwise identical
+// between the two modes on every common row.
+//
+// The workload is chosen to sit inside the simulator's determinism
+// envelope (docs/MODEL.md §2: residual order sensitivity exists only
+// when two transfers compete for the same resource gap).  Each rank runs
+// Fig. 3's pipeline against a ring: get the next block from the right
+// neighbor into B2 while computing the block in B1.  With one rank per
+// node, every NIC and memory resource is booked by exactly one rank —
+// no gap competition — so the modeled schedule is provably independent
+// of execution order, for any worker count in either mode.  That is what
+// makes the cross-mode identity bar sound; contended workloads are
+// deterministic only up to first-fit booking order.
+//
+// `--check` is scripts/check.sh tier 1k: a 1024-rank pooled smoke run
+// under a wall budget, the pooled-vs-threaded differential on the
+// 64-rank row, and the static buffer_bytes_peak bound assertion for a
+// pooled-mode multiply (the analyzer's ceilings are execution-order
+// independent, so pooled runs must still respect them).
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+
+namespace srumma::bench {
+namespace {
+
+/// One rank per node: p nodes of Myrinet wires, so every per-node NIC
+/// and per-domain memory resource has a single booking rank.
+MachineModel ring_machine(int ranks) {
+  MachineModel m = MachineModel::linux_myrinet(ranks);
+  m.ranks_per_node = 1;
+  return m;
+}
+
+struct ScaleRun {
+  double elapsed = 0.0;     ///< modeled pipeline time (virtual s)
+  double gflops = 0.0;      ///< modeled team rate
+  double clock_hash = 0.0;  ///< FNV-1a over per-rank final clocks
+  double wall = 0.0;        ///< real seconds the run took to simulate
+};
+
+/// FNV-1a over the raw bytes of every rank's final virtual clock, folded
+/// to 32 bits so the value is exactly representable as a double.  A
+/// single perturbed clock anywhere in the team changes the hash — the
+/// cheap bitwise-identity probe for the cross-mode differential.
+double fold_clocks(const std::vector<double>& clocks) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (double c : clocks) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &c, sizeof bits);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return static_cast<double>((h >> 32) ^ (h & 0xffffffffull));
+}
+
+/// Fig. 3 on a ring: `steps` double-buffered iterations of "get block
+/// b x b from the right neighbor while computing the current block".
+ScaleRun run_ring(int ranks, ExecMode mode, index_t b, int steps) {
+  Team team(ring_machine(ranks));
+  team.set_execution(mode);
+  RmaRuntime rma(team);
+  std::vector<double> final_clock(static_cast<std::size_t>(ranks), 0.0);
+  const double compute_s = team.machine().dgemm.time(b, b, b);
+  const std::size_t elems = static_cast<std::size_t>(b) *
+                            static_cast<std::size_t>(b);
+  ScaleRun out;
+  const WallTimer wall;
+  team.run([&](Rank& me) {
+    const int src = (me.id() + 1) % team.size();
+    me.barrier();
+    const double t0 = me.clock().now();
+    // Prologue: the first block is exposed (Fig. 3: "overlapping ... is
+    // achieved in all steps, except first").
+    RmaHandle next = rma.nbget(me, src, nullptr, nullptr, elems);
+    for (int s = 0; s < steps; ++s) {
+      rma.wait(me, next);
+      if (s + 1 < steps) next = rma.nbget(me, src, nullptr, nullptr, elems);
+      me.charge_seconds(compute_s);
+      // Tile-handoff barrier: each step is one C-tile phase.  The sync
+      // resyncs every clock (keeping the run deterministic) and makes
+      // thread-per-rank pay a full condvar round per step — exactly the
+      // per-parked-rank OS cost the pooled harness exists to remove.
+      me.barrier();
+    }
+    const double t1 = me.clock().now();
+    if (me.id() == 0) out.elapsed = t1 - t0;
+    final_clock[static_cast<std::size_t>(me.id())] = me.clock().now();
+  });
+  out.wall = wall.seconds();
+  const double flops = 2.0 * static_cast<double>(b) * static_cast<double>(b) *
+                       static_cast<double>(b) * steps *
+                       static_cast<double>(ranks);
+  out.gflops = out.elapsed > 0.0 ? flops / out.elapsed * 1e-9 : 0.0;
+  out.clock_hash = fold_clocks(final_clock);
+  return out;
+}
+
+void add_row(MetricsLog& log, int ranks, ExecMode mode, index_t b, int steps,
+             const ScaleRun& r, TableWriter& table) {
+  const std::string mode_name = mode == ExecMode::Pooled ? "pooled"
+                                                         : "threads";
+  table.add_row({TableWriter::num(static_cast<long long>(ranks)), mode_name,
+                 ms(r.elapsed), TableWriter::num(r.wall * 1e3, 1),
+                 TableWriter::num(r.wall > 0.0 ? r.elapsed / r.wall : 0.0,
+                                  4)});
+  // Built up with += (not operator+ chaining) to sidestep GCC 12's
+  // -Wrestrict false positive on literal+string concatenation at -O2.
+  std::string label = "p";
+  label += std::to_string(ranks);
+  label += "_";
+  label += mode_name;
+  log.add_metrics(
+      std::move(label),
+      {{"elapsed_s", r.elapsed},
+       {"gflops", r.gflops},
+       {"final_clock_hash", r.clock_hash}},
+      {{"ranks", static_cast<double>(ranks)},
+       {"block_n", static_cast<double>(b)},
+       {"steps", static_cast<double>(steps)},
+       {"pooled", mode == ExecMode::Pooled ? 1.0 : 0.0}},
+      r.wall, r.elapsed);
+}
+
+int check_mode() {
+  const index_t b = 64;
+  const int steps = 4;
+  // Tier 1k bar 1: a 1024-rank pooled smoke run inside a generous wall
+  // budget (the point is "routine", not a tight race with CI noise).
+  {
+    const WallTimer wall;
+    const ScaleRun r = run_ring(1024, ExecMode::Pooled, b, steps);
+    SRUMMA_REQUIRE(r.elapsed > 0.0, "1024-rank pooled run produced no time");
+    const double budget = 30.0;
+    if (wall.seconds() > budget) {
+      std::cerr << "FAIL: 1024-rank pooled smoke took " << wall.seconds()
+                << " s (budget " << budget << " s)\n";
+      return 1;
+    }
+    std::cout << "ok: 1024-rank pooled smoke in "
+              << TableWriter::num(wall.seconds(), 3) << " s\n";
+  }
+  // Tier 1k bar 2: pooled vs thread-per-rank differential on a
+  // contention-free row — modeled results must match bitwise.
+  {
+    const ScaleRun p = run_ring(64, ExecMode::Pooled, b, steps);
+    const ScaleRun t = run_ring(64, ExecMode::Threads, b, steps);
+    if (p.elapsed != t.elapsed || p.gflops != t.gflops ||
+        p.clock_hash != t.clock_hash) {
+      std::cerr << "FAIL: pooled vs threads differential diverged: elapsed "
+                << p.elapsed << " vs " << t.elapsed << ", clock hash "
+                << p.clock_hash << " vs " << t.clock_hash << "\n";
+      return 1;
+    }
+    std::cout << "ok: 64-rank pooled-vs-threads differential bitwise equal\n";
+  }
+  // Tier 1k bar 3: pooled-mode multiplies still respect the static
+  // analyzer's buffer_bytes_peak ceiling (execution-order independent).
+  {
+    Testbed tb(MachineModel::linux_myrinet(4));
+    tb.team.set_execution(ExecMode::Pooled);
+    SrummaOptions opt;
+    opt.nonblocking = true;
+    const index_t n = 192;
+    double mwall = 0.0;
+    const MultiplyResult r = run_srumma(tb, n, n, n, opt, &mwall);
+    trace::NumberMap params;
+    append_static_bounds(params, tb.team.machine(), n, n, n, opt);
+    double bound = 0.0;
+    for (const auto& [k, v] : params) {
+      if (k == "buffer_bytes_peak_bound") bound = v;
+    }
+    if (static_cast<double>(r.trace.buffer_bytes_peak) > bound) {
+      std::cerr << "FAIL: pooled-mode buffer_bytes_peak "
+                << r.trace.buffer_bytes_peak << " exceeds static bound "
+                << bound << "\n";
+      return 1;
+    }
+    std::cout << "ok: pooled-mode buffer_bytes_peak "
+              << r.trace.buffer_bytes_peak << " <= static bound " << bound
+              << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace srumma::bench
+
+int main(int argc, char** argv) {
+  using namespace srumma;
+  using namespace srumma::bench;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--check") return check_mode();
+  }
+  std::cout << "Harness scaling: Fig. 3 ring pipeline, pooled fibers vs "
+               "thread-per-rank\n(1 rank/node Myrinet wires; modeled "
+               "results are mode-independent by construction)\n\n";
+  const index_t b = 64;
+  const int steps = smoke_mode() ? 8 : 64;
+  MetricsLog log("scale");
+  TableWriter table(
+      {"ranks", "mode", "virtual ms", "wall ms", "virtual s / wall s"});
+  for (const int ranks : {64, 256, 1024, 4096}) {
+    const ScaleRun pooled = run_ring(ranks, ExecMode::Pooled, b, steps);
+    add_row(log, ranks, ExecMode::Pooled, b, steps, pooled, table);
+    // Thread-per-rank is the oracle arm; 4096 OS threads is exactly the
+    // configuration the pooled harness exists to avoid, so the largest
+    // point runs pooled only.
+    if (ranks <= 1024) {
+      const ScaleRun threads = run_ring(ranks, ExecMode::Threads, b, steps);
+      add_row(log, ranks, ExecMode::Threads, b, steps, threads, table);
+    }
+  }
+  table.print(std::cout, "Fig. 3 ring pipeline, block " + std::to_string(b) +
+                             ", " + std::to_string(steps) + " steps");
+  std::cout << "\nExpected shape: identical virtual columns across modes at "
+               "each rank count, and a widening wall-clock gap as ranks "
+               "grow (the pooled harness spends no OS threads on parked "
+               "ranks).\n";
+  return log.write_env() ? 0 : 1;
+}

@@ -71,16 +71,18 @@ Stream make_stream(index_t n_base, int count, double mean_gap,
 struct Arm {
   std::string label;
   ServiceMetrics metrics;
+  double wall = 0.0;
 };
 
 Arm run_arm(const MachineModel& machine, const Stream& stream,
             const ServiceConfig& cfg, const std::string& label) {
+  const bench::WallTimer wall;
   GemmService svc(machine, cfg);
   for (std::size_t i = 0; i < stream.jobs.size(); ++i) {
     (void)svc.submit(stream.jobs[i], stream.arrivals[i]);
   }
   svc.drain();
-  return {label, svc.metrics()};
+  return {label, svc.metrics(), wall.seconds()};
 }
 
 }  // namespace
@@ -152,7 +154,7 @@ int main() {
         {"batch_max", static_cast<double>(cfg.batch_max)},
         {"serialize", a.label == "serial" ? 1.0 : 0.0},
     };
-    emit.push_back({a.label, std::move(params), m});
+    emit.push_back({a.label, std::move(params), m, a.wall});
   }
   table.print(std::cout, "Linux cluster, 8 dual nodes (16 ranks), " +
                              std::to_string(jobs) +

@@ -29,6 +29,7 @@ namespace {
 
 struct Arm {
   MultiplyResult result;
+  double wall = 0.0;
   const char* label;
 };
 
@@ -48,7 +49,7 @@ Arm run_arm(const MachineModel& machine, EngineMode mode, index_t n,
   opt.engine = mode;
   Arm arm;
   arm.label = mode == EngineMode::On ? "engine" : "pipeline";
-  arm.result = run_srumma(tb, n, n, n, opt);
+  arm.result = run_srumma(tb, n, n, n, opt, &arm.wall);
   return arm;
 }
 
@@ -86,7 +87,7 @@ int main() {
     SrummaOptions aopt = platform_options(machine);
     aopt.c_chunk = n / 16;
     append_static_bounds(params, machine, n, n, n, aopt);
-    log.add(a.label, a.result, std::move(params));
+    log.add(a.label, a.result, std::move(params), a.wall);
   }
   table.print(std::cout,
               "Linux cluster, 4 dual nodes (8 ranks), N=" +

@@ -6,6 +6,7 @@
 // exercise with real data, and prints the rows the corresponding paper
 // table or figure reports.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -41,6 +42,22 @@ inline index_t smoke_n(index_t full, index_t small) {
   return smoke_mode() ? small : full;
 }
 
+/// Wall-clock stopwatch for the harness-speed metrics (wall_seconds /
+/// wall_per_virtual_second in every BENCH_*.json row): starts on
+/// construction, seconds() reads elapsed real time.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 /// One machine + comm stack, reusable across experiment runs.
 struct Testbed {
   Team team;
@@ -57,13 +74,16 @@ struct Testbed {
 };
 
 /// Phantom SRUMMA run: C(m x n) = op(A) op(B) with inner dimension k.
+/// `wall_out`, when given, receives the wall-clock seconds of the run.
 inline MultiplyResult run_srumma(Testbed& tb, index_t m, index_t n, index_t k,
-                                 SrummaOptions opt = {}) {
+                                 SrummaOptions opt = {},
+                                 double* wall_out = nullptr) {
   const ProcGrid g = tb.grid();
   const bool tra = opt.ta == blas::Trans::Yes;
   const bool trb = opt.tb == blas::Trans::Yes;
   MultiplyResult out;
   tb.team.reset();
+  const WallTimer wall;
   tb.team.run([&](Rank& me) {
     DistMatrix a(tb.rma, me, tra ? k : m, tra ? m : k, g, true);
     DistMatrix b(tb.rma, me, trb ? n : k, trb ? k : n, g, true);
@@ -71,17 +91,20 @@ inline MultiplyResult run_srumma(Testbed& tb, index_t m, index_t n, index_t k,
     MultiplyResult r = srumma_multiply(me, a, b, c, opt);
     if (me.id() == 0) out = r;
   });
+  if (wall_out != nullptr) *wall_out = wall.seconds();
   return out;
 }
 
 /// Phantom pdgemm (SUMMA + transpose redistribution) run.
 inline MultiplyResult run_pdgemm(Testbed& tb, index_t m, index_t n, index_t k,
-                                 PdgemmOptions opt = {}) {
+                                 PdgemmOptions opt = {},
+                                 double* wall_out = nullptr) {
   const ProcGrid g = tb.grid();
   const bool tra = opt.ta == blas::Trans::Yes;
   const bool trb = opt.tb == blas::Trans::Yes;
   MultiplyResult out;
   tb.team.reset();
+  const WallTimer wall;
   tb.team.run([&](Rank& me) {
     DistMatrix a(tb.rma, me, tra ? k : m, tra ? m : k, g, true);
     DistMatrix b(tb.rma, me, trb ? n : k, trb ? k : n, g, true);
@@ -89,13 +112,16 @@ inline MultiplyResult run_pdgemm(Testbed& tb, index_t m, index_t n, index_t k,
     MultiplyResult r = pdgemm_model(me, tb.comm, a, b, c, opt);
     if (me.id() == 0) out = r;
   });
+  if (wall_out != nullptr) *wall_out = wall.seconds();
   return out;
 }
 
 /// Phantom Cannon run (square grid machines only).
-inline MultiplyResult run_cannon(Testbed& tb, index_t n) {
+inline MultiplyResult run_cannon(Testbed& tb, index_t n,
+                                 double* wall_out = nullptr) {
   MultiplyResult out;
   tb.team.reset();
+  const WallTimer wall;
   tb.team.run([&](Rank& me) {
     CannonOptions opt;
     opt.m = opt.n = opt.k = n;
@@ -104,6 +130,7 @@ inline MultiplyResult run_cannon(Testbed& tb, index_t n) {
                                        MatrixView{}, opt);
     if (me.id() == 0) out = r;
   });
+  if (wall_out != nullptr) *wall_out = wall.seconds();
   return out;
 }
 

@@ -31,12 +31,13 @@ cmake --build "$build" -j "$jobs" \
   --target bench_fig3_pipeline --target bench_fig5_direct_vs_copy \
   --target bench_fig7_overlap --target bench_cache \
   --target bench_ablation_blocksize --target bench_steal \
-  --target bench_chaos --target bench_service
+  --target bench_chaos --target bench_service --target bench_scale
 
 benches=(fig3:bench_fig3_pipeline fig5:bench_fig5_direct_vs_copy
          fig7:bench_fig7_overlap cache:bench_cache
          ablation_blocksize:bench_ablation_blocksize
-         steal:bench_steal chaos:bench_chaos service:bench_service)
+         steal:bench_steal chaos:bench_chaos service:bench_service
+         scale:bench_scale)
 
 for entry in "${benches[@]}"; do
   id="${entry%%:*}"
@@ -51,6 +52,7 @@ done
 if command -v python3 > /dev/null; then
   python3 - \
     "$repo"/BENCH_{fig3,fig5,fig7,cache,ablation_blocksize,steal,chaos}.json \
+    "$repo/BENCH_scale.json" \
     << 'EOF'
 import json, sys
 
@@ -66,6 +68,12 @@ for path in sys.argv[1:]:
         assert row["metrics"], f"{path}: row without metrics"
         for v in list(row["params"].values()) + list(row["metrics"].values()):
             assert isinstance(v, (int, float)), f"{path}: non-numeric value"
+        # Harness-speed columns are part of the schema on every row: real
+        # seconds the arm took, and wall per modeled virtual second.
+        assert row["metrics"].get("wall_seconds", -1.0) >= 0.0, \
+            f"{path}/{row['label']}: missing wall_seconds"
+        assert row["metrics"].get("wall_per_virtual_second", -1.0) >= 0.0, \
+            f"{path}/{row['label']}: missing wall_per_virtual_second"
         # Rows that carry a srumma-analyze static ceiling must stay under
         # it at runtime — the analyzer's resource-bound proof is only a
         # proof if the measured peak never crosses it.
@@ -173,6 +181,39 @@ for label, row in rows.items():
 print(f"BENCH_chaos.json: domain-death acceptance bar ok "
       f"(worst engine {worst['engine']:.2f}x <= 1.5x, "
       f"worst pipeline {worst['pipeline']:.2f}x <= 2x)")
+
+# BENCH_scale.json carries the harness-speed acceptance bar (ISSUE 10,
+# docs/HARNESS.md): at 1024 ranks the pooled harness must simulate >= 3x
+# more virtual seconds per wall second than thread-per-rank, the modeled
+# (virtual-time) metrics must be bitwise identical between the two modes
+# on every common rank count — the workload is contention-free by
+# construction, so any divergence is a harness bug, not model noise —
+# and the 4096-rank pooled point must complete.
+with open(sys.argv[8]) as f:
+    scale = json.load(f)
+rows = {r["label"]: r for r in scale["rows"]}
+for p in (64, 256, 1024):
+    pooled, threads = rows[f"p{p}_pooled"], rows[f"p{p}_threads"]
+    for key in ("elapsed_s", "gflops", "final_clock_hash"):
+        assert pooled["metrics"][key] == threads["metrics"][key], (
+            f"scale/p{p}: {key} diverged between pooled and threads — "
+            f"{pooled['metrics'][key]} vs {threads['metrics'][key]}")
+    assert {k: v for k, v in pooled["params"].items() if k != "pooled"} == \
+        {k: v for k, v in threads["params"].items() if k != "pooled"}, \
+        f"scale/p{p}: arms ran different configurations"
+pooled, threads = rows["p1024_pooled"], rows["p1024_threads"]
+vps = lambda r: 1.0 / r["metrics"]["wall_per_virtual_second"]
+ratio = vps(pooled) / vps(threads)
+assert ratio >= 3.0, (
+    f"scale: pooled harness throughput {ratio:.2f}x thread-per-rank at "
+    f"1024 ranks, below the 3x bar")
+big = rows["p4096_pooled"]
+assert big["metrics"]["elapsed_s"] > 0, "scale: 4096-rank point incomplete"
+assert "p4096_threads" not in rows, \
+    "scale: thread-per-rank must not run the 4096-rank point"
+print(f"BENCH_scale.json: harness-speed bar ok ({ratio:.2f}x pooled "
+      f"throughput at 1024 ranks, modes bitwise identical, 4096 ranks in "
+      f"{big['metrics']['wall_seconds']*1e3:.0f} ms wall)")
 EOF
 
   # BENCH_service.json uses its own schema (jobs/s and latency percentiles

@@ -40,9 +40,16 @@
 #       verified independently), then under low-rate env fault injection
 #       with a raised retry budget — scheduling decisions, batch packing,
 #       and the bitwise-identity contract must survive both;
+#   1k. the pooled execution harness (docs/HARNESS.md): a 1024-rank
+#       pooled smoke run under a wall-clock budget, the pooled vs
+#       thread-per-rank differential on a contention-free workload
+#       (modeled results must match bitwise), and the static
+#       buffer_bytes_peak bound re-asserted against a pooled-mode
+#       multiply (bench_scale --check);
 #   2.  a TSan build running the concurrency-heavy suites
 #       (test_rma, test_runtime, test_srumma, test_rma_checker,
-#       test_block_cache, test_engine, test_chaos, test_service);
+#       test_block_cache, test_engine, test_chaos, test_service,
+#       test_harness_pool — the pooled fiber scheduler under TSan);
 #   3.  static analysis via scripts/lint.sh.
 #
 # Usage: scripts/check.sh [build-dir] [asan-build-dir] [tsan-build-dir]
@@ -261,6 +268,11 @@ SRUMMA_FAULT_MAX_ATTEMPTS=20 \
   ctest --test-dir "$build" --output-on-failure -R '^test_service$'
 
 echo
+echo "== tier 1k: pooled harness — 1024-rank smoke + mode differential =="
+cmake --build "$build" -j "$jobs" --target bench_scale
+"$build/bench/bench_scale" --check
+
+echo
 echo "== tier 2: concurrency suites under TSan ($tsan_build) =="
 cmake -B "$tsan_build" -S "$repo" \
   -DSRUMMA_SANITIZE=thread \
@@ -269,11 +281,11 @@ cmake -B "$tsan_build" -S "$repo" \
 cmake --build "$tsan_build" -j "$jobs" \
   --target test_rma --target test_runtime --target test_srumma \
   --target test_rma_checker --target test_block_cache --target test_engine \
-  --target test_chaos --target test_service
+  --target test_chaos --target test_service --target test_harness_pool
 # halt_on_error: a data race must fail the suite, not just print.
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
   ctest --test-dir "$tsan_build" --output-on-failure \
-  -R '^(test_rma|test_runtime|test_srumma|test_rma_checker|test_block_cache|test_engine|test_chaos|test_service)$'
+  -R '^(test_rma|test_runtime|test_srumma|test_rma_checker|test_block_cache|test_engine|test_chaos|test_service|test_harness_pool)$'
 
 echo
 echo "== tier 3: static analysis (scripts/lint.sh) =="

@@ -15,6 +15,7 @@
 #include "cache/block_cache.hpp"
 #include "engine/operand.hpp"
 #include "fault/fault_plane.hpp"
+#include "runtime/abortable_wait.hpp"
 #include "runtime/team.hpp"
 #include "trace/tracer.hpp"
 #include "util/error.hpp"
@@ -73,6 +74,7 @@ struct DomainBoard {
 
 struct TeamEngine {
   std::vector<std::unique_ptr<DomainBoard>> domains;  // by domain id
+  std::vector<std::uint64_t> abort_cv_ids;            // registry slots
   int users = 0;
 };
 
@@ -97,7 +99,8 @@ class TeamEngineGuard {
       const int nd = team_->machine().num_domains();
       for (int d = 0; d < nd; ++d) {
         slot->domains.push_back(std::make_unique<DomainBoard>());
-        team_->add_abort_cv(&slot->domains.back()->cv);
+        slot->abort_cv_ids.push_back(
+            team_->add_abort_cv(&slot->domains.back()->cv));
       }
     }
     slot->users += 1;
@@ -106,7 +109,8 @@ class TeamEngineGuard {
   ~TeamEngineGuard() {
     std::lock_guard<std::mutex> lk(g_registry_mu);
     if (--eng_->users == 0) {
-      for (const auto& d : eng_->domains) team_->remove_abort_cv(&d->cv);
+      for (const std::uint64_t id : eng_->abort_cv_ids)
+        team_->remove_abort_cv(id);
       registry().erase(team_);
     }
   }
@@ -319,7 +323,7 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
     for (int r = 0; r < me.team().size(); ++r)
       if (mm.domain_of(r) == me.domain()) ++domain_ranks;
     std::unique_lock<std::mutex> lk(dom.mu);
-    dom.cv.wait(lk, [&] {
+    park_until(lk, dom.cv, [&] {
       return me.team().aborted() || dom.arrived == domain_ranks;
     });
     if (me.team().aborted())
@@ -544,7 +548,7 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
     // whose predicate is already satisfied.
     {
       std::unique_lock<std::mutex> lk(dom.mu);
-      dom.cv.wait(lk, [&] {
+      park_until(lk, dom.cv, [&] {
         return me.team().aborted() || killed_now() ||
                vb->commits[static_cast<std::size_t>(d->tile)] >= d->pos;
       });
@@ -716,8 +720,9 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
     double pub = 0.0;
     {
       std::unique_lock<std::mutex> lk(dom.mu);
-      dom.cv.wait(lk,
-                  [&] { return me.team().aborted() || killed_now() || d.done; });
+      park_until(lk, dom.cv, [&] {
+        return me.team().aborted() || killed_now() || d.done;
+      });
       if (me.team().aborted())
         throw Error("engine: team aborted waiting for a handback");
       // Fail-stop while parked: the thief (a domain mate, dead with us)
@@ -823,7 +828,7 @@ void run_plan(Rank& me, DistMatrix& a, DistMatrix& b, DistMatrix& c,
       // advance them), so the one transition to wait for is a pending
       // head's thief publishing.
       std::unique_lock<std::mutex> lk(dom.mu);
-      dom.cv.wait(lk, [&] {
+      park_until(lk, dom.cv, [&] {
         if (me.team().aborted() || killed_now()) return true;
         for (int tile = 0; tile < n_tiles; ++tile) {
           const auto& chain = tile_tasks[static_cast<std::size_t>(tile)];

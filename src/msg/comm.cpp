@@ -26,11 +26,12 @@ Comm::Comm(Team& team, MsgConfig cfg)
   for (int r = 0; r < team.size(); ++r)
     mailboxes_.push_back(std::make_unique<Mailbox>());
   // Let Team::abort wake ranks parked in mailbox waits promptly.
-  for (auto& box : mailboxes_) team_.add_abort_cv(&box->cv);
+  abort_cv_ids_.reserve(mailboxes_.size());
+  for (auto& box : mailboxes_) abort_cv_ids_.push_back(team_.add_abort_cv(&box->cv));
 }
 
 Comm::~Comm() {
-  for (auto& box : mailboxes_) team_.remove_abort_cv(&box->cv);
+  for (const std::uint64_t id : abort_cv_ids_) team_.remove_abort_cv(id);
 }
 
 double Comm::draw_msg_delay(Rank& me, int dst) {

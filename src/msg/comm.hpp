@@ -176,6 +176,7 @@ class Comm {
   Team& team_;
   double eager_threshold_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::uint64_t> abort_cv_ids_;  // one registry slot per mailbox
 
   static constexpr int kCollectiveTag = -1001;
 };

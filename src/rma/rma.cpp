@@ -47,10 +47,10 @@ RmaRuntime::RmaRuntime(Team& team, RmaConfig cfg)
   if (cache_cfg.enabled)
     cache_ = std::make_unique<cache::BlockCacheSet>(team, cache_cfg);
   // Let Team::abort wake ranks parked in a collective allocation promptly.
-  team_.add_abort_cv(&alloc_cv_);
+  alloc_cv_id_ = team_.add_abort_cv(&alloc_cv_);
 }
 
-RmaRuntime::~RmaRuntime() { team_.remove_abort_cv(&alloc_cv_); }
+RmaRuntime::~RmaRuntime() { team_.remove_abort_cv(alloc_cv_id_); }
 
 void RmaRuntime::validate2d(const char* op, int owner, index_t ld_src,
                             index_t rows, index_t cols, index_t ld_dst) const {

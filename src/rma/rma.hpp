@@ -351,6 +351,7 @@ class RmaRuntime {
 
   std::mutex alloc_mu_;
   std::condition_variable alloc_cv_;
+  std::uint64_t alloc_cv_id_ = 0;  // abort-cv registry slot
   struct FreeRecord {
     int arrived = 0;
     std::vector<char> freed;  // per-rank marks for double-free detection

@@ -1,15 +1,23 @@
 #pragma once
-// Condition-variable wait that cannot outlive a failing team.
+// Blocking waits that cannot outlive a failing team, in both execution
+// modes.
 //
 // When any rank throws, Team::abort() flips a flag; every blocking wait in
 // the communication layers polls that flag so a failure on one rank
 // propagates instead of deadlocking the remaining ranks.
+//
+// On a pooled-mode fiber (exec::on_fiber()), a wait must never block the
+// OS worker: these wrappers park by dropping the lock, yielding the fiber,
+// and re-polling the predicate on resume.  Abort and deadline semantics
+// are unchanged because both are part of the re-polled condition.  The
+// lock is NEVER held across a yield.
 
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
 
+#include "runtime/fiber_exec.hpp"
 #include "runtime/team.hpp"
 #include "util/error.hpp"
 
@@ -18,6 +26,15 @@ namespace srumma {
 template <typename Pred>
 void wait_abortable(std::unique_lock<std::mutex>& lock,
                     std::condition_variable& cv, Team& team, Pred pred) {
+  if (exec::on_fiber()) {
+    while (!pred()) {
+      if (team.aborted()) throw Error("team aborted while waiting");
+      lock.unlock();
+      exec::yield();
+      lock.lock();
+    }
+    return;
+  }
   while (!pred()) {
     if (team.aborted()) throw Error("team aborted while waiting");
     cv.wait_for(lock, std::chrono::milliseconds(20));
@@ -33,6 +50,16 @@ bool wait_abortable_for(std::unique_lock<std::mutex>& lock,
                         std::chrono::duration<Rep, Period> rel_time,
                         Pred pred) {
   const auto deadline = std::chrono::steady_clock::now() + rel_time;
+  if (exec::on_fiber()) {
+    while (!pred()) {
+      if (team.aborted()) throw Error("team aborted while waiting");
+      if (std::chrono::steady_clock::now() >= deadline) return pred();
+      lock.unlock();
+      exec::yield();
+      lock.lock();
+    }
+    return true;
+  }
   while (!pred()) {
     if (team.aborted()) throw Error("team aborted while waiting");
     const auto now = std::chrono::steady_clock::now();
@@ -41,6 +68,24 @@ bool wait_abortable_for(std::unique_lock<std::mutex>& lock,
                           deadline - now, std::chrono::milliseconds(20)));
   }
   return true;
+}
+
+/// Non-throwing park used by waits whose predicate already folds in abort
+/// and kill conditions (the engine's domain boards).  Equivalent to
+/// cv.wait(lock, pred) in threaded mode; fiber-yield polling in pooled
+/// mode.
+template <typename Pred>
+void park_until(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+                Pred pred) {
+  if (exec::on_fiber()) {
+    while (!pred()) {
+      lock.unlock();
+      exec::yield();
+      lock.lock();
+    }
+    return;
+  }
+  cv.wait(lock, std::move(pred));
 }
 
 }  // namespace srumma

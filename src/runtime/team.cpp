@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <thread>
 
+#include "runtime/fiber_exec.hpp"
 #include "trace/chrome_trace.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
@@ -118,27 +121,49 @@ Rank& Team::rank(int id) {
   return *ranks_[static_cast<std::size_t>(id)];
 }
 
+namespace {
+
+ExecMode mode_from_env() {
+  const char* s = std::getenv("SRUMMA_HARNESS");
+  if (s != nullptr && std::strcmp(s, "threads") == 0) return ExecMode::Threads;
+  return ExecMode::Pooled;
+}
+
+}  // namespace
+
 void Team::run(const std::function<void(Rank&)>& body) {
   SRUMMA_REQUIRE(!aborted(), "team was aborted; call reset() before reuse");
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(size_));
   std::mutex err_mu;
   std::exception_ptr first_error;
-
-  for (int r = 0; r < size_; ++r) {
-    threads.emplace_back([this, r, &body, &err_mu, &first_error] {
-      try {
-        body(*ranks_[static_cast<std::size_t>(r)]);
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(err_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        abort();  // wake ranks parked in barriers so join() cannot hang
+  auto rank_body = [this, &body, &err_mu, &first_error](int r) {
+    try {
+      body(*ranks_[static_cast<std::size_t>(r)]);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
       }
-    });
+      abort();  // wake parked ranks so the run cannot hang
+    }
+  };
+
+  ExecMode mode = exec_mode_ == ExecMode::Auto ? mode_from_env() : exec_mode_;
+  // A body that itself runs a nested team (the request plane does this from
+  // non-fiber scheduler threads, but be safe) cannot stack a second fiber
+  // pool on a fiber: fall back to thread-per-rank for the nested run.
+  if (mode == ExecMode::Pooled && exec::on_fiber()) mode = ExecMode::Threads;
+
+  if (mode == ExecMode::Pooled) {
+    const int workers =
+        exec_workers_ > 0 ? exec_workers_ : exec::default_workers();
+    exec::run_fibers(size_, workers, exec::default_stack_bytes(), rank_body);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(size_));
+    for (int r = 0; r < size_; ++r)
+      threads.emplace_back([&rank_body, r] { rank_body(r); });
+    for (auto& t : threads) t.join();
   }
-  for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
 }
 
@@ -195,19 +220,33 @@ void Team::abort() noexcept {
   barrier_cv_.notify_all();
   // Wake every registered blocking wait (symmetric allocation, mailboxes)
   // so peers observe the abort promptly instead of riding out their
-  // polling interval.
+  // polling interval.  (Pooled-mode fibers need no wakeup: parked fibers
+  // re-poll their predicate, which checks aborted(), on every resume.)
   std::lock_guard<std::mutex> lock(abort_cv_mu_);
-  for (std::condition_variable* cv : abort_cvs_) cv->notify_all();
+  for (std::condition_variable* cv : abort_cv_slots_)
+    if (cv != nullptr) cv->notify_all();
 }
 
-void Team::add_abort_cv(std::condition_variable* cv) {
+std::uint64_t Team::add_abort_cv(std::condition_variable* cv) {
   std::lock_guard<std::mutex> lock(abort_cv_mu_);
-  abort_cvs_.push_back(cv);
+  if (!abort_cv_free_.empty()) {
+    const std::uint64_t id = abort_cv_free_.back();
+    abort_cv_free_.pop_back();
+    abort_cv_slots_[static_cast<std::size_t>(id)] = cv;
+    return id;
+  }
+  const std::uint64_t id = abort_cv_slots_.size();
+  abort_cv_slots_.push_back(cv);
+  return id;
 }
 
-void Team::remove_abort_cv(std::condition_variable* cv) {
+void Team::remove_abort_cv(std::uint64_t id) {
   std::lock_guard<std::mutex> lock(abort_cv_mu_);
-  std::erase(abort_cvs_, cv);
+  SRUMMA_REQUIRE(id < abort_cv_slots_.size() &&
+                     abort_cv_slots_[static_cast<std::size_t>(id)] != nullptr,
+                 "remove_abort_cv: unknown registry id");
+  abort_cv_slots_[static_cast<std::size_t>(id)] = nullptr;
+  abort_cv_free_.push_back(id);
 }
 
 std::uint64_t Team::add_epoch_observer(std::function<void(int)> fn) {
@@ -263,10 +302,29 @@ void Team::barrier_wait(Rank& me) {
     barrier_arrived_ = 0;
     barrier_max_ = 0.0;
     ++barrier_generation_;
+    // Watermark coalescing: every peer is quiescent inside this barrier
+    // (parked on barrier_cv_ or yielded in its poll loop, never mid-book),
+    // and every future booking's ready time derives from a clock that will
+    // be sync'd to barrier_release_ — so reservations ending at or before
+    // the release can never influence a future placement and may be merged
+    // into one dead prefix interval.  This bounds Resource memory on long
+    // runs without changing any modeled result.
+    net_.advance_frontier(barrier_release_);
     barrier_cv_.notify_all();
   } else {
     const std::uint64_t gen = barrier_generation_;
-    barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen || aborted(); });
+    auto released = [&] { return barrier_generation_ != gen || aborted(); };
+    if (exec::on_fiber()) {
+      // Pooled mode: park by yielding the fiber (lock dropped across the
+      // yield); the predicate is re-polled on every resume.
+      while (!released()) {
+        lock.unlock();
+        exec::yield();
+        lock.lock();
+      }
+    } else {
+      barrier_cv_.wait(lock, released);
+    }
     if (aborted()) throw Error("team aborted while waiting in barrier");
   }
   const double before = me.clock().now();

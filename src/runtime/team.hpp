@@ -2,12 +2,14 @@
 // Rank/Team execution substrate.
 //
 // A Team turns one simulated machine into a set of concurrently executing
-// ranks.  Each rank is an OS thread sharing the process address space —
-// the stand-in for a cluster process — with its own virtual clock and trace
-// counters.  Algorithms are written as a callable taking a Rank&, exactly
-// like an SPMD main(); Team::run launches every rank, joins them, and
-// propagates the first exception (waking any rank parked in a barrier so a
-// failing run cannot deadlock the suite).
+// ranks sharing the process address space — the stand-in for cluster
+// processes — each with its own virtual clock and trace counters.
+// Algorithms are written as a callable taking a Rank&, exactly like an SPMD
+// main(); Team::run executes every rank (as fibers over a bounded worker
+// pool by default, or as one OS thread per rank — see ExecMode and
+// docs/HARNESS.md), waits for all of them, and propagates the first
+// exception (waking any rank parked in a barrier so a failing run cannot
+// deadlock the suite).
 
 #include <atomic>
 #include <condition_variable>
@@ -29,6 +31,17 @@
 namespace srumma {
 
 class Team;
+
+/// How Team::run executes rank bodies.
+///  - Pooled: ranks are stackful fibers multiplexed over a bounded worker
+///    pool (see runtime/fiber_exec.hpp); blocking points park by yielding.
+///    The default — 1024+-rank teams cost no OS threads.
+///  - Threads: one OS thread per rank; the original mode, kept as a
+///    fallback and as the differential-testing oracle (tests assert both
+///    modes produce bitwise-identical virtual-time results).
+///  - Auto: resolve from SRUMMA_HARNESS ("pooled" | "threads"; default
+///    pooled) at run() time.
+enum class ExecMode : std::uint8_t { Auto, Pooled, Threads };
 
 /// Per-rank execution context handed to the SPMD body.
 class Rank {
@@ -97,8 +110,17 @@ class Team {
   [[nodiscard]] Rank& rank(int id);
 
   /// Run an SPMD body on every rank; blocks until all complete.  The first
-  /// exception thrown by any rank is rethrown here after all threads join.
+  /// exception thrown by any rank is rethrown here after all ranks finish.
   void run(const std::function<void(Rank&)>& body);
+
+  /// Select the execution mode (and, for Pooled, an optional worker-count
+  /// override; workers <= 0 means "resolve from the environment").  Takes
+  /// effect at the next run(); safe to change between runs.
+  void set_execution(ExecMode mode, int workers = 0) noexcept {
+    exec_mode_ = mode;
+    exec_workers_ = workers;
+  }
+  [[nodiscard]] ExecMode execution() const noexcept { return exec_mode_; }
 
   /// Reset clocks, traces and network resources between experiments.
   void reset();
@@ -143,10 +165,12 @@ class Team {
   /// Register a condition variable that abort() must notify, so blocking
   /// waits in the comm layers (symmetric allocation, mailboxes) wake
   /// promptly when a peer rank throws instead of riding out their polling
-  /// interval.  The caller owns the cv and must remove it before the cv is
-  /// destroyed.
-  void add_abort_cv(std::condition_variable* cv);
-  void remove_abort_cv(std::condition_variable* cv);
+  /// interval.  Returns a slot id for remove_abort_cv — an index into a
+  /// free-listed registry, so registering/removing the O(ranks) mailbox
+  /// cvs of a 4096-rank team costs O(1) each instead of an O(n) scan.
+  /// The caller owns the cv and must remove it before the cv is destroyed.
+  std::uint64_t add_abort_cv(std::condition_variable* cv);
+  void remove_abort_cv(std::uint64_t id);
 
   /// Start recording per-rank event spans (see vtime/timeline.hpp); off by
   /// default.  Safe to call between runs; reset() clears recorded events
@@ -195,7 +219,13 @@ class Team {
   std::shared_ptr<fault::FaultPlane> faults_;
 
   std::mutex abort_cv_mu_;
-  std::vector<std::condition_variable*> abort_cvs_;
+  // Index-keyed registry: slot id -> cv (nullptr = free slot, recycled via
+  // the free list).  abort() walks the slots once; add/remove are O(1).
+  std::vector<std::condition_variable*> abort_cv_slots_;
+  std::vector<std::uint64_t> abort_cv_free_;
+
+  ExecMode exec_mode_ = ExecMode::Auto;
+  int exec_workers_ = 0;
 
   void notify_epoch_observers(int rank);
 

@@ -10,7 +10,9 @@ namespace {
 
 std::string num(double v) {
   std::ostringstream os;
-  os.precision(15);
+  // 17 significant digits: doubles round-trip exactly (the bench-metrics
+  // serializer rule; see trace/metrics_json.cpp).
+  os.precision(17);
   os << v;
   return os.str();
 }
@@ -67,7 +69,13 @@ std::string service_metrics_json(const std::string& bench,
        << "\",\"params\":";
     emit_map(os, arm.params);
     os << ",\"metrics\":";
-    emit_map(os, metrics_map(arm.metrics));
+    trace::NumberMap metrics = metrics_map(arm.metrics);
+    metrics.emplace_back("wall_seconds", arm.wall_seconds);
+    metrics.emplace_back("wall_per_virtual_second",
+                         arm.metrics.window > 0.0
+                             ? arm.wall_seconds / arm.metrics.window
+                             : 0.0);
+    emit_map(os, metrics);
     os << "}";
     first = false;
   }

@@ -12,7 +12,9 @@
 //       { "label":   "<experiment arm>",
 //         "params":  { "<name>": <number>, ... },   // workload inputs
 //         "metrics": { "jobs_per_s": ..., "latency_p50_s": ...,
-//                      "latency_p99_s": ..., "utilization": ..., ... } },
+//                      "latency_p99_s": ..., "utilization": ...,
+//                      "wall_seconds": ...,
+//                      "wall_per_virtual_second": ..., ... } },
 //       ...
 //     ]
 //   }
@@ -28,11 +30,14 @@
 
 namespace srumma::service {
 
-/// One experiment arm of a service bench.
+/// One experiment arm of a service bench.  `wall_seconds` is the real
+/// time the arm took to simulate; the emitted wall_per_virtual_second
+/// divides it by the arm's modeled window (the bench-metrics rule).
 struct ServiceArm {
   std::string label;
   trace::NumberMap params;
   ServiceMetrics metrics;
+  double wall_seconds = 0.0;
 };
 
 /// Every ServiceMetrics field as (key, value) pairs — the "metrics" block.

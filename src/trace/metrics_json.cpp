@@ -10,9 +10,17 @@ namespace {
 
 std::string num(double v) {
   std::ostringstream os;
-  os.precision(15);
+  // 17 significant digits: doubles round-trip exactly, so cross-mode
+  // bitwise-identity checks (bench_scale pooled vs threads) can compare
+  // serialized metrics directly.
+  os.precision(17);
   os << v;
   return os.str();
+}
+
+// wall / virtual; 0 when the row has no virtual-time denominator.
+double wall_per_vs(double wall_seconds, double virtual_seconds) {
+  return virtual_seconds > 0.0 ? wall_seconds / virtual_seconds : 0.0;
 }
 
 std::string escape(const std::string& s) {
@@ -86,28 +94,36 @@ std::string counters_json(const TraceCounters& t) {
 }
 
 void MetricsLog::add(const std::string& label, const MultiplyResult& r,
-                     NumberMap params) {
+                     NumberMap params, double wall_seconds) {
   Row row;
   row.label = label;
   row.params = std::move(params);
   row.metrics = {{"elapsed_s", r.elapsed},
                  {"gflops", r.gflops},
-                 {"overlap", r.overlap}};
+                 {"overlap", r.overlap},
+                 {"wall_seconds", wall_seconds},
+                 {"wall_per_virtual_second", wall_per_vs(wall_seconds, r.elapsed)}};
   row.counters = r.trace;
   rows_.push_back(std::move(row));
 }
 
 void MetricsLog::add_metric(const std::string& label, const std::string& metric,
-                            double value, NumberMap params) {
-  add_metrics(label, {{metric, value}}, std::move(params));
+                            double value, NumberMap params, double wall_seconds,
+                            double virtual_seconds) {
+  add_metrics(label, {{metric, value}}, std::move(params), wall_seconds,
+              virtual_seconds);
 }
 
 void MetricsLog::add_metrics(const std::string& label, NumberMap metrics,
-                             NumberMap params) {
+                             NumberMap params, double wall_seconds,
+                             double virtual_seconds) {
   Row row;
   row.label = label;
   row.params = std::move(params);
   row.metrics = std::move(metrics);
+  row.metrics.emplace_back("wall_seconds", wall_seconds);
+  row.metrics.emplace_back("wall_per_virtual_second",
+                           wall_per_vs(wall_seconds, virtual_seconds));
   rows_.push_back(std::move(row));
 }
 

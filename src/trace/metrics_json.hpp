@@ -20,9 +20,13 @@
 //   }
 // Multiply rows carry metrics elapsed_s / gflops / overlap plus the full
 // team-aggregated counters block; scalar rows (e.g. Fig. 7 overlap
-// percentages) carry caller-named metrics and no counters block.  Fields
-// are only ever added to the schema, never renamed, so BENCH_*.json files
-// from different PRs stay comparable.
+// percentages) carry caller-named metrics and no counters block.  Every
+// row additionally carries the harness-speed metrics wall_seconds (real
+// time the arm took to simulate) and wall_per_virtual_second (wall /
+// modeled virtual seconds; 0 when the row has no virtual duration) so
+// simulator throughput is a tracked trajectory alongside modeled perf.
+// Fields are only ever added to the schema, never renamed, so
+// BENCH_*.json files from different PRs stay comparable.
 
 #include <optional>
 #include <string>
@@ -44,17 +48,23 @@ class MetricsLog {
  public:
   explicit MetricsLog(std::string bench) : bench_(std::move(bench)) {}
 
-  /// A multiply-experiment row: elapsed/gflops/overlap + full counters.
-  void add(const std::string& label, const MultiplyResult& r,
-           NumberMap params = {});
+  /// A multiply-experiment row: elapsed/gflops/overlap + wall metrics +
+  /// full counters.  `wall_seconds` is the measured real time of the arm
+  /// (wall_per_virtual_second is derived against r.elapsed).
+  void add(const std::string& label, const MultiplyResult& r, NumberMap params,
+           double wall_seconds);
 
   /// A scalar row for benches whose outputs are not MultiplyResults.
+  /// `virtual_seconds` is the arm's modeled duration (0 when the row has
+  /// no virtual-time denominator).
   void add_metric(const std::string& label, const std::string& metric,
-                  double value, NumberMap params = {});
+                  double value, NumberMap params, double wall_seconds,
+                  double virtual_seconds);
 
   /// A row with several caller-named metrics and no counters block.
   void add_metrics(const std::string& label, NumberMap metrics,
-                   NumberMap params = {});
+                   NumberMap params, double wall_seconds,
+                   double virtual_seconds);
 
   [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
   [[nodiscard]] std::string json() const;

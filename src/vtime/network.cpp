@@ -40,4 +40,10 @@ void NetworkState::reset() {
   for (auto& r : domain_mem_) r->reset();
 }
 
+void NetworkState::advance_frontier(double watermark) {
+  for (auto& r : nic_out_) r->advance_frontier(watermark);
+  for (auto& r : nic_in_) r->advance_frontier(watermark);
+  for (auto& r : domain_mem_) r->advance_frontier(watermark);
+}
+
 }  // namespace srumma

@@ -24,6 +24,11 @@ class NetworkState {
 
   void reset();
 
+  /// Coalesce dead reservations (end <= watermark) on every resource; see
+  /// Resource::advance_frontier for the soundness contract.  Called by
+  /// Team's barrier with the release time, where all ranks are quiescent.
+  void advance_frontier(double watermark);
+
  private:
   // unique_ptr so Resource (which holds a mutex) never moves.
   std::vector<std::unique_ptr<Resource>> nic_out_;

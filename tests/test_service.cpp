@@ -546,12 +546,14 @@ TEST(Service, MetricsJsonSerializes) {
   m.p99_latency = 0.9;
   m.utilization = 0.75;
   const std::string doc = service_metrics_json(
-      "service", {{"concurrent", {{"jobs", 3.0}}, m}});
+      "service", {{"concurrent", {{"jobs", 3.0}}, m, 0.5}});
   EXPECT_NE(doc.find("\"schema\":\"srumma-service-metrics/1\""),
             std::string::npos);
   EXPECT_NE(doc.find("\"jobs_per_s\":1"), std::string::npos);
   EXPECT_NE(doc.find("\"latency_p99_s\":0.9"), std::string::npos);
   EXPECT_NE(doc.find("\"utilization\":0.75"), std::string::npos);
+  EXPECT_NE(doc.find("\"wall_seconds\":0.5"), std::string::npos);
+  EXPECT_NE(doc.find("\"wall_per_virtual_second\":0.25"), std::string::npos);
 }
 
 TEST(Service, ConfigFromEnvironment) {

@@ -489,8 +489,9 @@ TEST(Tracer, MetricsJsonSchemaRoundTrips) {
   r.overlap = 0.75;
   r.trace.gets = 3;
   r.trace.time_compute = 0.25;
-  log.add("arm \"a\"", r, {{"n", 128.0}});
-  log.add_metrics("scalar", {{"x", 1.0}, {"y", 2.0}}, {{"bytes", 256.0}});
+  log.add("arm \"a\"", r, {{"n", 128.0}}, 0.125);
+  log.add_metrics("scalar", {{"x", 1.0}, {"y", 2.0}}, {{"bytes", 256.0}},
+                  0.25, 2.0);
   ASSERT_EQ(log.size(), 2u);
 
   JsonValue doc = JsonParser(log.json()).parse();
@@ -503,8 +504,14 @@ TEST(Tracer, MetricsJsonSchemaRoundTrips) {
   EXPECT_EQ(rows[0].at("metrics").at("gflops").num, 12.0);
   EXPECT_EQ(rows[0].at("counters").at("gets").num, 3.0);
   EXPECT_EQ(rows[0].at("counters").at("time_compute").num, 0.25);
+  EXPECT_EQ(rows[0].at("metrics").at("wall_seconds").num, 0.125);
+  EXPECT_EQ(rows[0].at("metrics").at("wall_per_virtual_second").num,
+            0.125 / 0.5);
   EXPECT_FALSE(rows[1].has("counters"));
   EXPECT_EQ(rows[1].at("metrics").at("y").num, 2.0);
+  EXPECT_EQ(rows[1].at("metrics").at("wall_seconds").num, 0.25);
+  EXPECT_EQ(rows[1].at("metrics").at("wall_per_virtual_second").num,
+            0.25 / 2.0);
 }
 
 }  // namespace
